@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/cloud"
+	"github.com/srl-nuces/ctxdna/internal/experiment"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+func writeGrid(t *testing.T) string {
+	t.Helper()
+	files := synth.ExperimentCorpus(synth.CorpusSpec{NumFiles: 16, MinSize: 2 << 10, MaxSize: 128 << 10, Seed: 5})
+	g, err := experiment.Run(files, cloud.Grid(), []string{"ctw", "dnax", "gencompress", "gzip"}, experiment.DefaultNoise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "grid.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func silence(t *testing.T) func() {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	return func() { os.Stdout = old; devnull.Close() }
+}
+
+func TestSelectFromGrid(t *testing.T) {
+	defer silence(t)()
+	grid := writeGrid(t)
+	for _, method := range []string{"cart", "chaid"} {
+		if err := run(runOpts{gridPath: grid, method: method, fileKB: 100, ramMB: 2048, cpuMHz: 2000, bwMbps: 2, showAcc: true}); err != nil {
+			t.Errorf("%s: %v", method, err)
+		}
+	}
+}
+
+func TestShowRules(t *testing.T) {
+	defer silence(t)()
+	grid := writeGrid(t)
+	if err := run(runOpts{gridPath: grid, method: "cart", fileKB: 10, ramMB: 1024, cpuMHz: 1600, bwMbps: 2, showRules: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	defer silence(t)()
+	grid := writeGrid(t)
+	if err := run(runOpts{gridPath: grid, method: "nonsense", fileKB: 10, ramMB: 1024, cpuMHz: 1600, bwMbps: 2}); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run(runOpts{gridPath: filepath.Join(t.TempDir(), "nope.csv"), method: "cart", fileKB: 10, ramMB: 1024, cpuMHz: 1600, bwMbps: 2}); err == nil {
+		t.Error("missing grid accepted")
+	}
+	if err := run(runOpts{modelPath: filepath.Join(t.TempDir(), "nope.json")}); err == nil {
+		t.Error("missing model accepted")
+	}
+}
+
+func TestSaveAndLoadModel(t *testing.T) {
+	defer silence(t)()
+	grid := writeGrid(t)
+	model := filepath.Join(t.TempDir(), "rules.json")
+	if err := run(runOpts{gridPath: grid, method: "cart", saveModel: model}); err != nil {
+		t.Fatal(err)
+	}
+	// Select using the persisted model, no grid needed.
+	if err := run(runOpts{modelPath: model, fileKB: 150, ramMB: 3584, cpuMHz: 2400, bwMbps: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the model: loading must fail.
+	if err := os.WriteFile(model, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(runOpts{modelPath: model, fileKB: 150}); err == nil {
+		t.Fatal("corrupt model accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/seq"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+func writeTemp(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTripRawText(t *testing.T) {
+	p := synth.Profile{Length: 5000, GC: 0.45, RepeatProb: 0.002, RepeatMin: 20, RepeatMax: 200}
+	ascii := p.GenerateASCII(1)
+	in := writeTemp(t, "seq.txt", ascii)
+	packed := filepath.Join(t.TempDir(), "seq.dnax")
+	if err := run("dnax", false, packed, true, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	restored := filepath.Join(t.TempDir(), "restored.txt")
+	if err := run("", true, restored, true, []string{packed}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ascii) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestRoundTripFASTA(t *testing.T) {
+	p := synth.Profile{Length: 3000, GC: 0.4}
+	codes := p.Generate(2)
+	var fasta bytes.Buffer
+	if err := seq.WriteFASTA(&fasta, []seq.Record{{Header: "test sequence", Seq: seq.Decode(codes)}}, 60); err != nil {
+		t.Fatal(err)
+	}
+	in := writeTemp(t, "seq.fa", fasta.Bytes())
+	packed := filepath.Join(t.TempDir(), "seq.ctw")
+	if err := run("ctw", false, packed, true, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	restored := filepath.Join(t.TempDir(), "restored.txt")
+	if err := run("", true, restored, true, []string{packed}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, seq.Decode(codes)) {
+		t.Fatal("FASTA round trip mismatch")
+	}
+}
+
+func TestEveryRegisteredCodecThroughCLI(t *testing.T) {
+	p := synth.Profile{Length: 2000, GC: 0.5, RepeatProb: 0.003, RepeatMin: 20, RepeatMax: 100}
+	ascii := p.GenerateASCII(3)
+	in := writeTemp(t, "seq.txt", ascii)
+	for _, name := range compress.Names() {
+		packed := filepath.Join(t.TempDir(), "seq."+name)
+		if err := run(name, false, packed, true, []string{in}); err != nil {
+			t.Fatalf("%s: compress: %v", name, err)
+		}
+		restored := filepath.Join(t.TempDir(), "restored."+name)
+		if err := run("", true, restored, true, []string{packed}); err != nil {
+			t.Fatalf("%s: decompress: %v", name, err)
+		}
+		got, err := os.ReadFile(restored)
+		if err != nil || !bytes.Equal(got, ascii) {
+			t.Fatalf("%s: round trip mismatch (%v)", name, err)
+		}
+	}
+}
+
+func TestContainerSelfDescribes(t *testing.T) {
+	p := synth.Profile{Length: 1000, GC: 0.5}
+	in := writeTemp(t, "seq.txt", p.GenerateASCII(4))
+	packed := filepath.Join(t.TempDir(), "seq.bin")
+	if err := run("gencompress", false, packed, true, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte(magic)) {
+		t.Fatal("container missing magic")
+	}
+	if !bytes.Contains(data[:32], []byte("gencompress")) {
+		t.Fatal("container missing codec name")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("nope", false, "", true, []string{writeTemp(t, "x.txt", []byte("ACGT"))}); err == nil || !strings.Contains(err.Error(), "unknown codec") {
+		t.Errorf("unknown codec: err = %v", err)
+	}
+	if err := run("dnax", false, "", true, []string{writeTemp(t, "x.txt", []byte("12345"))}); err == nil {
+		t.Error("no-ACGT input accepted")
+	}
+	if err := run("", true, "", true, []string{writeTemp(t, "x.bin", []byte("garbage"))}); err == nil {
+		t.Error("garbage container accepted")
+	}
+	if err := run("dnax", false, "", true, []string{filepath.Join(t.TempDir(), "missing.txt")}); err == nil {
+		t.Error("missing input accepted")
+	}
+	truncated := append([]byte(magic), []byte("dnax")...) // no newline terminator
+	if err := run("", true, "", true, []string{writeTemp(t, "t.bin", truncated)}); err == nil {
+		t.Error("truncated header accepted")
+	}
+}

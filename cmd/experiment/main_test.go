@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/experiment"
+)
+
+func TestRunWritesReadableGrid(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "grid.csv")
+	if err := run(6, 2, 16, 7, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := experiment.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Files) != 6 || len(g.Contexts) != 32 || len(g.Codecs) != 4 {
+		t.Fatalf("grid shape %d files %d contexts %d codecs", len(g.Files), len(g.Contexts), len(g.Codecs))
+	}
+	if len(g.Rows) != 6*32 {
+		t.Fatalf("%d rows", len(g.Rows))
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	if err := run(2, 2, 4, 7, filepath.Join(t.TempDir(), "no", "such", "dir", "g.csv")); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/cloud"
+	"github.com/srl-nuces/ctxdna/internal/experiment"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+// writeGrid builds a compact grid CSV for CLI tests.
+func writeGrid(t *testing.T) string {
+	t.Helper()
+	files := synth.ExperimentCorpus(synth.CorpusSpec{NumFiles: 12, MinSize: 2 << 10, MaxSize: 64 << 10, Seed: 3})
+	g, err := experiment.Run(files, cloud.Grid(), []string{"ctw", "dnax", "gencompress", "gzip"}, experiment.DefaultNoise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "grid.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRenderEveryFigure(t *testing.T) {
+	grid := writeGrid(t)
+	// Silence stdout during rendering.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	for _, fig := range []int{2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15, 16} {
+		if err := run(grid, fig, 0, false); err != nil {
+			t.Errorf("fig %d: %v", fig, err)
+		}
+	}
+	for _, table := range []int{1, 2} {
+		if err := run(grid, 0, table, false); err != nil {
+			t.Errorf("table %d: %v", table, err)
+		}
+	}
+	if err := run(grid, 0, 0, true); err != nil {
+		t.Errorf("-all: %v", err)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	grid := writeGrid(t)
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	if err := run(grid, 99, 0, false); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run(grid, 0, 9, false); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := run(grid, 0, 0, false); err == nil {
+		t.Error("no selection accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.csv"), 2, 0, false); err == nil {
+		t.Error("missing grid accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	os.WriteFile(bad, []byte("not,a,grid\n1,2,3\n"), 0o644)
+	if err := run(bad, 2, 0, false); err == nil {
+		t.Error("malformed grid accepted")
+	}
+}

@@ -1,0 +1,60 @@
+// Corpusreport compresses the standard DNA benchmark corpus (the paper's
+// §IV.A dataset, regenerated synthetically at the published sizes) with
+// every codec and prints the classic bits-per-base table found throughout
+// the DNA compression literature.
+//
+//	go run ./examples/corpusreport
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+
+	_ "github.com/srl-nuces/ctxdna/internal/compress/biocompress"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/ctw"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/dnacompress"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/dnapack"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/dnax"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/gencompress"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/gzipx"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/twobit"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/xm"
+)
+
+func main() {
+	codecs := []string{"xm", "gencompress", "dnacompress", "dnapack", "biocompress", "dnax", "ctw", "gzip", "twobit"}
+	fmt.Printf("%-10s %8s", "file", "bases")
+	for _, c := range codecs {
+		fmt.Printf(" %12s", c)
+	}
+	fmt.Println()
+
+	sums := make([]float64, len(codecs))
+	profiles := synth.Benchmark()
+	for _, p := range profiles {
+		sequence := p.Generate(2015)
+		fmt.Printf("%-10s %8d", p.Name, len(sequence))
+		for ci, name := range codecs {
+			codec, err := compress.New(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			data, _, err := codec.Compress(sequence)
+			if err != nil {
+				log.Fatalf("%s on %s: %v", name, p.Name, err)
+			}
+			bpb := compress.Ratio(len(sequence), len(data))
+			sums[ci] += bpb
+			fmt.Printf(" %12.3f", bpb)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-10s %8s", "average", "")
+	for ci := range codecs {
+		fmt.Printf(" %12.3f", sums[ci]/float64(len(profiles)))
+	}
+	fmt.Println("\n\n(bits per base; 2.000 = uncompressed 2-bit packing)")
+}

@@ -1,0 +1,3 @@
+module github.com/srl-nuces/ctxdna
+
+go 1.22

@@ -1,0 +1,204 @@
+// Package ace implements an Adaptive Compression Environment in the style
+// of Krintz & Sucu (the paper's §III related work): a transfer-time
+// middleware that decides, per transfer, whether to compress at all and
+// with which algorithm, from forecasts of the resources that matter —
+// bandwidth and available CPU — plus recent compression-ratio samples.
+//
+// The forecaster mirrors the Network Weather Service's design: several
+// simple predictors (last value, windowed mean, windowed median, EMA) run
+// in parallel and the one with the lowest recent absolute error makes the
+// forecast. "ACE decides on last samples of compression ratios and if those
+// are unavailable ... ACE will consider CPU load and bandwidth for its
+// estimation" — reproduced by the default-ratio fallback.
+package ace
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+)
+
+// Forecaster predicts the next value of a noisy series NWS-style.
+type Forecaster struct {
+	window   []float64
+	maxWin   int
+	ema      float64
+	hasEMA   bool
+	emaAlpha float64
+	// Cumulative absolute error per predictor: last, mean, median, ema.
+	errs  [4]float64
+	count int
+}
+
+// NewForecaster returns a forecaster with the given sliding window size.
+func NewForecaster(window int) *Forecaster {
+	if window < 2 {
+		window = 2
+	}
+	return &Forecaster{maxWin: window, emaAlpha: 0.3}
+}
+
+func (f *Forecaster) predictions() [4]float64 {
+	n := len(f.window)
+	last := f.window[n-1]
+	sum := 0.0
+	for _, v := range f.window {
+		sum += v
+	}
+	mean := sum / float64(n)
+	sorted := append([]float64(nil), f.window...)
+	sort.Float64s(sorted)
+	median := sorted[n/2]
+	ema := f.ema
+	return [4]float64{last, mean, median, ema}
+}
+
+// Observe records a measurement, scoring each predictor against it first.
+func (f *Forecaster) Observe(v float64) {
+	if len(f.window) > 0 {
+		preds := f.predictions()
+		for i, p := range preds {
+			d := p - v
+			if d < 0 {
+				d = -d
+			}
+			f.errs[i] += d
+		}
+	}
+	if f.hasEMA {
+		f.ema = f.emaAlpha*v + (1-f.emaAlpha)*f.ema
+	} else {
+		f.ema = v
+		f.hasEMA = true
+	}
+	f.window = append(f.window, v)
+	if len(f.window) > f.maxWin {
+		f.window = f.window[1:]
+	}
+	f.count++
+}
+
+// Forecast returns the best predictor's value and whether any observation
+// exists.
+func (f *Forecaster) Forecast() (float64, bool) {
+	if len(f.window) == 0 {
+		return 0, false
+	}
+	preds := f.predictions()
+	best := 0
+	for i := 1; i < len(preds); i++ {
+		if f.errs[i] < f.errs[best] {
+			best = i
+		}
+	}
+	return preds[best], true
+}
+
+// Samples reports how many observations the forecaster holds.
+func (f *Forecaster) Samples() int { return f.count }
+
+// CodecProfile describes one candidate algorithm to the decision engine.
+type CodecProfile struct {
+	Name string
+	// CompressMBps is single-core compression throughput at the reference
+	// CPU (from the codec cost models / benchmarks).
+	CompressMBps float64
+	// DefaultRatio is the compressed-fraction assumed before any samples
+	// arrive (output bytes / input bytes).
+	DefaultRatio float64
+}
+
+// Environment is the ACE middleware state.
+type Environment struct {
+	bw       *Forecaster // Mbps
+	cpuMHz   *Forecaster // available client MHz
+	profiles []CodecProfile
+	ratios   map[string]*Forecaster
+}
+
+// NewEnvironment creates an ACE instance over the candidate codecs.
+func NewEnvironment(profiles []CodecProfile) (*Environment, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("ace: no codec profiles")
+	}
+	e := &Environment{
+		bw:       NewForecaster(16),
+		cpuMHz:   NewForecaster(16),
+		profiles: profiles,
+		ratios:   make(map[string]*Forecaster, len(profiles)),
+	}
+	for _, p := range profiles {
+		if p.CompressMBps <= 0 || p.DefaultRatio <= 0 {
+			return nil, fmt.Errorf("ace: profile %q has non-positive throughput or ratio", p.Name)
+		}
+		e.ratios[p.Name] = NewForecaster(8)
+	}
+	return e, nil
+}
+
+// ObserveBandwidth feeds a network sensor measurement (Mbps).
+func (e *Environment) ObserveBandwidth(mbps float64) { e.bw.Observe(mbps) }
+
+// ObserveCPU feeds an available-CPU measurement (MHz).
+func (e *Environment) ObserveCPU(mhz float64) { e.cpuMHz.Observe(mhz) }
+
+// ObserveRatio feeds a compression-ratio sample (compressedBytes/rawBytes)
+// from a completed transfer.
+func (e *Environment) ObserveRatio(codec string, ratio float64) {
+	if f, ok := e.ratios[codec]; ok && ratio > 0 {
+		f.Observe(ratio)
+	}
+}
+
+// Decision is the engine's answer for one transfer.
+type Decision struct {
+	Codec       string // "" = send raw
+	PredictedMS float64
+	RawMS       float64
+}
+
+// Decide picks the option minimizing predicted transfer completion time for
+// a payload of the given size. With no bandwidth observations it refuses to
+// guess and sends raw (the conservative middleware default).
+func (e *Environment) Decide(sizeBytes int) Decision {
+	bw, ok := e.bw.Forecast()
+	if !ok || bw <= 0 {
+		return Decision{Codec: "", PredictedMS: 0, RawMS: 0}
+	}
+	cpu, okCPU := e.cpuMHz.Forecast()
+	if !okCPU || cpu <= 0 {
+		cpu = float64(compress.ReferenceMHz)
+	}
+	transferMS := func(bytes float64) float64 {
+		return bytes * 8 / (bw * 1e6) * 1e3
+	}
+	rawMS := transferMS(float64(sizeBytes))
+	best := Decision{Codec: "", PredictedMS: rawMS, RawMS: rawMS}
+	for _, p := range e.profiles {
+		ratio := p.DefaultRatio
+		if f := e.ratios[p.Name]; f != nil {
+			if r, ok := f.Forecast(); ok {
+				ratio = r
+			}
+		}
+		cpuScale := float64(compress.ReferenceMHz) / cpu
+		compMS := float64(sizeBytes) / (p.CompressMBps * 1e6) * 1e3 * cpuScale
+		total := compMS + transferMS(float64(sizeBytes)*ratio)
+		if total < best.PredictedMS {
+			best = Decision{Codec: p.Name, PredictedMS: total, RawMS: rawMS}
+		}
+	}
+	return best
+}
+
+// DefaultDNAProfiles returns candidate profiles for the repository's codecs,
+// derived from their calibrated cost models (throughput at the reference
+// core) and typical DNA ratios (compressed fraction of the ASCII bytes).
+func DefaultDNAProfiles() []CodecProfile {
+	return []CodecProfile{
+		{Name: "gzip", CompressMBps: 2.2, DefaultRatio: 0.33},
+		{Name: "dnax", CompressMBps: 9.0, DefaultRatio: 0.22},
+		{Name: "gencompress", CompressMBps: 0.35, DefaultRatio: 0.21},
+	}
+}

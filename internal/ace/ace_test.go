@@ -1,0 +1,179 @@
+package ace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForecasterConstantSeries(t *testing.T) {
+	f := NewForecaster(8)
+	for i := 0; i < 20; i++ {
+		f.Observe(5)
+	}
+	got, ok := f.Forecast()
+	if !ok || got != 5 {
+		t.Fatalf("Forecast = %v, %v", got, ok)
+	}
+	if f.Samples() != 20 {
+		t.Fatalf("Samples = %d", f.Samples())
+	}
+}
+
+func TestForecasterEmpty(t *testing.T) {
+	if _, ok := NewForecaster(8).Forecast(); ok {
+		t.Fatal("empty forecaster claimed a forecast")
+	}
+}
+
+func TestForecasterTracksShift(t *testing.T) {
+	f := NewForecaster(8)
+	for i := 0; i < 30; i++ {
+		f.Observe(10)
+	}
+	for i := 0; i < 30; i++ {
+		f.Observe(2)
+	}
+	got, _ := f.Forecast()
+	if math.Abs(got-2) > 0.5 {
+		t.Fatalf("after level shift forecast = %v, want ~2", got)
+	}
+}
+
+func TestForecasterBeatsWorstPredictorOnNoise(t *testing.T) {
+	// On iid noise around a mean, the adaptive choice should do no worse
+	// than the raw last-value predictor.
+	rng := rand.New(rand.NewSource(1))
+	f := NewForecaster(16)
+	lastErr, chosenErr := 0.0, 0.0
+	prev := 0.0
+	hasPrev := false
+	for i := 0; i < 500; i++ {
+		v := 10 + rng.NormFloat64()
+		if hasPrev {
+			if fc, ok := f.Forecast(); ok {
+				chosenErr += math.Abs(fc - v)
+			}
+			lastErr += math.Abs(prev - v)
+		}
+		f.Observe(v)
+		prev = v
+		hasPrev = true
+	}
+	if chosenErr > lastErr {
+		t.Fatalf("adaptive predictor (%.1f) lost to last-value (%.1f)", chosenErr, lastErr)
+	}
+}
+
+func TestNewEnvironmentValidation(t *testing.T) {
+	if _, err := NewEnvironment(nil); err == nil {
+		t.Error("empty profile list accepted")
+	}
+	if _, err := NewEnvironment([]CodecProfile{{Name: "x", CompressMBps: 0, DefaultRatio: 0.5}}); err == nil {
+		t.Error("zero throughput accepted")
+	}
+	if _, err := NewEnvironment([]CodecProfile{{Name: "x", CompressMBps: 5, DefaultRatio: 0}}); err == nil {
+		t.Error("zero ratio accepted")
+	}
+}
+
+func TestDecideRawWithoutObservations(t *testing.T) {
+	e, err := NewEnvironment(DefaultDNAProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := e.Decide(1 << 20)
+	if d.Codec != "" {
+		t.Fatalf("with no bandwidth sensor data ACE must send raw, chose %q", d.Codec)
+	}
+}
+
+func TestDecideFlipsWithBandwidth(t *testing.T) {
+	// The core ACE behaviour: slow link -> compress; LAN-speed link with a
+	// slow CPU -> send raw ("CPU load is not enough and Bandwidth is high").
+	slow, err := NewEnvironment(DefaultDNAProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		slow.ObserveBandwidth(2) // 2 Mbps uplink
+		slow.ObserveCPU(2400)
+	}
+	d := slow.Decide(10 << 20)
+	if d.Codec == "" {
+		t.Fatal("slow link: ACE should compress")
+	}
+	if d.PredictedMS >= d.RawMS {
+		t.Fatal("slow link: compression predicted no gain")
+	}
+
+	fast, err := NewEnvironment(DefaultDNAProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		fast.ObserveBandwidth(5000) // 5 Gbps
+		fast.ObserveCPU(300)        // heavily loaded client
+	}
+	d = fast.Decide(10 << 20)
+	if d.Codec != "" {
+		t.Fatalf("fast link + busy CPU: ACE should send raw, chose %q", d.Codec)
+	}
+}
+
+func TestDecideUsesObservedRatios(t *testing.T) {
+	// A codec whose observed ratios are far better than its default should
+	// win transfers it would otherwise lose.
+	profiles := []CodecProfile{
+		{Name: "a", CompressMBps: 10, DefaultRatio: 0.9},
+		{Name: "b", CompressMBps: 10, DefaultRatio: 0.5},
+	}
+	e, err := NewEnvironment(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		e.ObserveBandwidth(2)
+		e.ObserveCPU(2400)
+	}
+	if d := e.Decide(1 << 20); d.Codec != "b" {
+		t.Fatalf("defaults should pick b, got %q", d.Codec)
+	}
+	// Feed samples showing a actually achieves 0.1.
+	for i := 0; i < 8; i++ {
+		e.ObserveRatio("a", 0.1)
+	}
+	if d := e.Decide(1 << 20); d.Codec != "a" {
+		t.Fatalf("after ratio samples ACE should pick a, got %q", d.Codec)
+	}
+	// Unknown codec samples are ignored, not fatal.
+	e.ObserveRatio("ghost", 0.01)
+}
+
+func TestDecideCPUScaling(t *testing.T) {
+	// Halving available CPU doubles compression cost; at the margin that
+	// flips the decision to a faster codec (or raw).
+	profiles := []CodecProfile{{Name: "slowcodec", CompressMBps: 0.4, DefaultRatio: 0.25}}
+	e, err := NewEnvironment(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		e.ObserveBandwidth(2)
+		e.ObserveCPU(2400)
+	}
+	withFastCPU := e.Decide(4 << 20)
+
+	e2, _ := NewEnvironment(profiles)
+	for i := 0; i < 10; i++ {
+		e2.ObserveBandwidth(2)
+		e2.ObserveCPU(600)
+	}
+	withSlowCPU := e2.Decide(4 << 20)
+	if withFastCPU.Codec != "slowcodec" {
+		t.Fatalf("fast CPU should compress, got %q", withFastCPU.Codec)
+	}
+	if withSlowCPU.Codec != "" {
+		t.Fatalf("slow CPU should send raw, got %q", withSlowCPU.Codec)
+	}
+}

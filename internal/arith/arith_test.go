@@ -1,0 +1,321 @@
+package arith
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStaticBitRoundTrip(t *testing.T) {
+	bits := []int{0, 1, 1, 0, 1, 0, 0, 0, 1, 1, 1, 1, 0}
+	const p0 = ProbOne / 2
+	e := NewEncoder(32)
+	for _, b := range bits {
+		e.EncodeBitP(p0, b)
+	}
+	d := NewDecoder(e.Finish())
+	for i, want := range bits {
+		if got := d.DecodeBitP(p0); got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestSkewedProbabilities(t *testing.T) {
+	// Extreme but legal probabilities must round-trip.
+	for _, p0 := range []uint32{1, 7, ProbOne / 16, ProbOne - 1} {
+		rng := rand.New(rand.NewSource(int64(p0)))
+		bits := make([]int, 3000)
+		for i := range bits {
+			if rng.Float64() > float64(p0)/ProbOne {
+				bits[i] = 1
+			}
+		}
+		e := NewEncoder(1024)
+		for _, b := range bits {
+			e.EncodeBitP(p0, b)
+		}
+		d := NewDecoder(e.Finish())
+		for i, want := range bits {
+			if got := d.DecodeBitP(p0); got != want {
+				t.Fatalf("p0=%d bit %d: got %d want %d", p0, i, got, want)
+			}
+		}
+	}
+}
+
+func TestAdaptiveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bits := make([]int, 20000)
+	for i := range bits {
+		// A biased, drifting source that exercises model adaptation.
+		if rng.Float64() < 0.2+0.5*math.Sin(float64(i)/500)*math.Sin(float64(i)/500) {
+			bits[i] = 1
+		}
+	}
+	pe, pd := NewProb(), NewProb()
+	e := NewEncoder(4096)
+	for _, b := range bits {
+		e.EncodeBit(&pe, b)
+	}
+	out := e.Finish()
+	d := NewDecoder(out)
+	for i, want := range bits {
+		if got := d.DecodeBit(&pd); got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+	if pe != pd {
+		t.Fatalf("encoder and decoder models diverged: %d vs %d", pe, pd)
+	}
+}
+
+func TestCompressionOfBiasedSource(t *testing.T) {
+	// A 95/5 source has entropy ~0.286 bits/bit; the adaptive coder should
+	// land well under 0.45 bits/bit including overhead.
+	rng := rand.New(rand.NewSource(11))
+	const n = 100000
+	p := NewProb()
+	e := NewEncoder(n / 4)
+	for i := 0; i < n; i++ {
+		b := 0
+		if rng.Float64() < 0.05 {
+			b = 1
+		}
+		e.EncodeBit(&p, b)
+	}
+	out := e.Finish()
+	bpb := float64(len(out)*8) / n
+	if bpb > 0.45 {
+		t.Fatalf("biased source compressed to %.3f bits/bit, want < 0.45", bpb)
+	}
+	if bpb < 0.2 {
+		t.Fatalf("suspiciously good rate %.3f bits/bit — check entropy accounting", bpb)
+	}
+}
+
+func TestRandomSourceNearOneBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 50000
+	p := NewProb()
+	e := NewEncoder(n / 8)
+	for i := 0; i < n; i++ {
+		e.EncodeBit(&p, rng.Intn(2))
+	}
+	out := e.Finish()
+	bpb := float64(len(out)*8) / n
+	if bpb < 0.99 || bpb > 1.05 {
+		t.Fatalf("uniform source at %.4f bits/bit, want ~1.0", bpb)
+	}
+}
+
+func TestProbUpdateBounds(t *testing.T) {
+	p := NewProb()
+	for i := 0; i < 1000; i++ {
+		p.Update(0)
+	}
+	if uint32(p) == 0 || uint32(p) >= ProbOne {
+		t.Fatalf("prob escaped range after zeros: %d", p)
+	}
+	hi := uint32(p)
+	if hi < ProbOne*9/10 {
+		t.Fatalf("prob failed to adapt upward: %d", hi)
+	}
+	for i := 0; i < 1000; i++ {
+		p.Update(1)
+	}
+	if uint32(p) == 0 || uint32(p) >= ProbOne {
+		t.Fatalf("prob escaped range after ones: %d", p)
+	}
+	if uint32(p) > ProbOne/10 {
+		t.Fatalf("prob failed to adapt downward: %d", p)
+	}
+}
+
+func TestCarryPropagation(t *testing.T) {
+	// Long runs of maximally-probable bits push low close to the range top,
+	// manufacturing pending-carry chains inside the encoder.
+	e := NewEncoder(1024)
+	pattern := make([]int, 5000)
+	for i := range pattern {
+		if i%97 == 96 {
+			pattern[i] = 0
+		} else {
+			pattern[i] = 1
+		}
+	}
+	const p0 = ProbOne - 1 // bit 1 gets a microscopic sub-range
+	for _, b := range pattern {
+		e.EncodeBitP(p0, b)
+	}
+	d := NewDecoder(e.Finish())
+	for i, want := range pattern {
+		if got := d.DecodeBitP(p0); got != want {
+			t.Fatalf("carry test bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	e := NewEncoder(16)
+	e.EncodeBitP(ProbOne/2, 1)
+	a := e.Finish()
+	b := e.Finish()
+	if len(a) != len(b) {
+		t.Fatalf("second Finish changed output: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+func TestQuickBitstream(t *testing.T) {
+	f := func(data []byte, seed int64) bool {
+		if len(data) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		probs := make([]uint32, 16)
+		for i := range probs {
+			probs[i] = uint32(rng.Intn(ProbOne-2)) + 1
+		}
+		e := NewEncoder(len(data) * 2)
+		for i, b := range data {
+			for k := 7; k >= 0; k-- {
+				e.EncodeBitP(probs[(i+k)%16], int(b>>uint(k))&1)
+			}
+		}
+		d := NewDecoder(e.Finish())
+		for i, b := range data {
+			var got byte
+			for k := 7; k >= 0; k-- {
+				got = got<<1 | byte(d.DecodeBitP(probs[(i+k)%16]))
+			}
+			if got != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolModelRoundTrip(t *testing.T) {
+	for _, order := range []int{0, 1, 2, 4} {
+		rng := rand.New(rand.NewSource(int64(order) + 1))
+		syms := make([]byte, 30000)
+		for i := range syms {
+			// Markov-ish source: repeat previous symbol 70% of the time.
+			if i > 0 && rng.Float64() < 0.7 {
+				syms[i] = syms[i-1]
+			} else {
+				syms[i] = byte(rng.Intn(4))
+			}
+		}
+		me := NewSymbolModel(order)
+		e := NewEncoder(len(syms))
+		for _, s := range syms {
+			me.Encode(e, s)
+		}
+		out := e.Finish()
+		md := NewSymbolModel(order)
+		d := NewDecoder(out)
+		for i, want := range syms {
+			if got := md.Decode(d); got != want {
+				t.Fatalf("order %d sym %d: got %d want %d", order, i, got, want)
+			}
+		}
+		// The repetitive source must compress below 2 bits/base.
+		bpb := float64(len(out)*8) / float64(len(syms))
+		if order >= 1 && bpb > 1.8 {
+			t.Errorf("order %d: %.3f bits/base, want < 1.8", order, bpb)
+		}
+	}
+}
+
+func TestSymbolModelObserve(t *testing.T) {
+	// Encoding with Observe-advanced context must mirror decoding with the
+	// same Observe calls.
+	syms := []byte{0, 1, 2, 3, 0, 0, 1, 1, 2, 2, 3, 3}
+	skip := map[int]bool{3: true, 7: true}
+	me := NewSymbolModel(2)
+	e := NewEncoder(64)
+	for i, s := range syms {
+		if skip[i] {
+			me.Observe(s)
+		} else {
+			me.Encode(e, s)
+		}
+	}
+	md := NewSymbolModel(2)
+	d := NewDecoder(e.Finish())
+	for i, want := range syms {
+		if skip[i] {
+			md.Observe(want)
+			continue
+		}
+		if got := md.Decode(d); got != want {
+			t.Fatalf("sym %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestSymbolModelReset(t *testing.T) {
+	m := NewSymbolModel(2)
+	e := NewEncoder(64)
+	for i := 0; i < 100; i++ {
+		m.Encode(e, byte(i%4))
+	}
+	m.Reset()
+	fresh := NewSymbolModel(2)
+	if m.ctx != fresh.ctx {
+		t.Fatal("Reset did not clear context")
+	}
+	for i := range m.probs {
+		if m.probs[i] != fresh.probs[i] {
+			t.Fatalf("Reset left learned prob at index %d", i)
+		}
+	}
+}
+
+func TestSymbolModelMemoryFootprint(t *testing.T) {
+	m := NewSymbolModel(2)
+	want := (1 << 4) * 3 * 2 // 16 contexts × 3 probs × 2 bytes
+	if got := m.MemoryFootprint(); got != want {
+		t.Fatalf("MemoryFootprint = %d, want %d", got, want)
+	}
+}
+
+func TestSymbolModelOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSymbolModel(13) did not panic")
+		}
+	}()
+	NewSymbolModel(13)
+}
+
+func BenchmarkEncodeBitAdaptive(b *testing.B) {
+	p := NewProb()
+	e := NewEncoder(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e.Len() > 1<<22 {
+			e = NewEncoder(1 << 20)
+		}
+		e.EncodeBit(&p, i&1)
+	}
+}
+
+func BenchmarkSymbolModelOrder2(b *testing.B) {
+	m := NewSymbolModel(2)
+	e := NewEncoder(1 << 20)
+	b.ReportAllocs()
+	b.SetBytes(1)
+	for i := 0; i < b.N; i++ {
+		if e.Len() > 1<<22 {
+			e = NewEncoder(1 << 20)
+		}
+		m.Encode(e, byte(i&3))
+	}
+}

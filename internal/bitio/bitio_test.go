@@ -1,0 +1,325 @@
+package bitio
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBit(t *testing.T) {
+	w := NewWriter(4)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsRoundTrip(t *testing.T) {
+	cases := []struct {
+		v uint64
+		n uint
+	}{
+		{0, 0}, {0, 1}, {1, 1}, {5, 3}, {255, 8}, {256, 9},
+		{math.MaxUint32, 32}, {math.MaxUint64, 64}, {0xdeadbeef, 37},
+	}
+	w := NewWriter(64)
+	for _, c := range cases {
+		w.WriteBits(c.v, c.n)
+	}
+	r := NewReader(w.Bytes())
+	for _, c := range cases {
+		got, err := r.ReadBits(c.n)
+		if err != nil {
+			t.Fatalf("ReadBits(%d): %v", c.n, err)
+		}
+		want := c.v
+		if c.n < 64 {
+			want &= (1 << c.n) - 1
+		}
+		if got != want {
+			t.Fatalf("ReadBits(%d): got %#x want %#x", c.n, got, want)
+		}
+	}
+}
+
+func TestWriteBitsMasksHighBits(t *testing.T) {
+	w := NewWriter(2)
+	w.WriteBits(0xff, 4) // only low 4 bits must land
+	got := w.Bytes()
+	if got[0] != 0xf0 {
+		t.Fatalf("got %#x want 0xf0", got[0])
+	}
+}
+
+func TestBytePadding(t *testing.T) {
+	w := NewWriter(1)
+	w.WriteBit(1)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0x80 {
+		t.Fatalf("got %v, want [0x80]", b)
+	}
+	if w.BitLen() != 1 {
+		t.Fatalf("BitLen = %d, want 1", w.BitLen())
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", w.Len())
+	}
+}
+
+func TestWriteBytesAligned(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBytes([]byte{1, 2, 3})
+	if !bytes.Equal(w.Bytes(), []byte{1, 2, 3}) {
+		t.Fatalf("aligned WriteBytes mismatch: %v", w.Bytes())
+	}
+}
+
+func TestWriteBytesUnaligned(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBit(1)
+	w.WriteBytes([]byte{0xAB, 0xCD})
+	r := NewReader(w.Bytes())
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("lost leading bit")
+	}
+	v, err := r.ReadBits(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xABCD {
+		t.Fatalf("got %#x want 0xabcd", v)
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 2, 7, 63, 64, 65, 130, 1000}
+	w := NewWriter(256)
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range vals {
+		got, err := r.ReadUnary()
+		if err != nil {
+			t.Fatalf("ReadUnary: %v", err)
+		}
+		if got != want {
+			t.Fatalf("unary: got %d want %d", got, want)
+		}
+	}
+}
+
+func TestGammaRoundTrip(t *testing.T) {
+	vals := []uint64{1, 2, 3, 4, 7, 8, 100, 1 << 20, math.MaxUint32, math.MaxUint64}
+	w := NewWriter(256)
+	for _, v := range vals {
+		if err := w.WriteGamma(v); err != nil {
+			t.Fatalf("WriteGamma(%d): %v", v, err)
+		}
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range vals {
+		got, err := r.ReadGamma()
+		if err != nil {
+			t.Fatalf("ReadGamma: %v", err)
+		}
+		if got != want {
+			t.Fatalf("gamma: got %d want %d", got, want)
+		}
+	}
+}
+
+func TestGammaRejectsZero(t *testing.T) {
+	w := NewWriter(1)
+	if err := w.WriteGamma(0); err != ErrValueRange {
+		t.Fatalf("WriteGamma(0) = %v, want ErrValueRange", err)
+	}
+	if err := w.WriteDelta(0); err != ErrValueRange {
+		t.Fatalf("WriteDelta(0) = %v, want ErrValueRange", err)
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	vals := []uint64{1, 2, 3, 15, 16, 17, 1 << 30, math.MaxUint64}
+	w := NewWriter(256)
+	for _, v := range vals {
+		if err := w.WriteDelta(v); err != nil {
+			t.Fatalf("WriteDelta(%d): %v", v, err)
+		}
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range vals {
+		got, err := r.ReadDelta()
+		if err != nil {
+			t.Fatalf("ReadDelta: %v", err)
+		}
+		if got != want {
+			t.Fatalf("delta: got %d want %d", got, want)
+		}
+	}
+}
+
+func TestGammaLength(t *testing.T) {
+	// gamma(1) = "0" (1 bit); gamma(2) = "10 0" (3 bits); gamma(4) = "110 00" (5 bits)
+	for _, c := range []struct {
+		v    uint64
+		bits int
+	}{{1, 1}, {2, 3}, {3, 3}, {4, 5}, {8, 7}} {
+		w := NewWriter(8)
+		if err := w.WriteGamma(c.v); err != nil {
+			t.Fatal(err)
+		}
+		if w.BitLen() != c.bits {
+			t.Errorf("gamma(%d) length = %d bits, want %d", c.v, w.BitLen(), c.bits)
+		}
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("got %v, want io.ErrUnexpectedEOF", err)
+	}
+	if _, err := r.ReadBits(4); err != io.ErrUnexpectedEOF {
+		t.Fatalf("got %v, want io.ErrUnexpectedEOF", err)
+	}
+	if _, err := r.ReadUnary(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("unary past end: got %v", err)
+	}
+}
+
+func TestBitsReadRemaining(t *testing.T) {
+	r := NewReader([]byte{0xAA, 0x55})
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining = %d, want 16", r.Remaining())
+	}
+	r.ReadBits(5)
+	if r.BitsRead() != 5 || r.Remaining() != 11 {
+		t.Fatalf("BitsRead=%d Remaining=%d, want 5/11", r.BitsRead(), r.Remaining())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xABCD, 16)
+	w.Reset()
+	if w.BitLen() != 0 || len(w.Bytes()) != 0 {
+		t.Fatal("Reset did not clear writer")
+	}
+	w.WriteBit(1)
+	if w.Bytes()[0] != 0x80 {
+		t.Fatal("writer unusable after Reset")
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0x1234, 16)
+	var buf bytes.Buffer
+	n, err := w.WriteTo(&buf)
+	if err != nil || n != 2 {
+		t.Fatalf("WriteTo = (%d,%v), want (2,nil)", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), []byte{0x12, 0x34}) {
+		t.Fatalf("WriteTo wrote %v", buf.Bytes())
+	}
+}
+
+func TestQuickGammaDelta(t *testing.T) {
+	f := func(raw []uint32) bool {
+		vals := make([]uint64, 0, len(raw))
+		for _, v := range raw {
+			vals = append(vals, uint64(v)+1) // strictly positive
+		}
+		w := NewWriter(len(vals) * 8)
+		for _, v := range vals {
+			if err := w.WriteGamma(v); err != nil {
+				return false
+			}
+			if err := w.WriteDelta(v); err != nil {
+				return false
+			}
+		}
+		r := NewReader(w.Bytes())
+		for _, v := range vals {
+			g, err := r.ReadGamma()
+			if err != nil || g != v {
+				return false
+			}
+			d, err := r.ReadDelta()
+			if err != nil || d != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBitsMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(200) + 1
+		widths := make([]uint, n)
+		vals := make([]uint64, n)
+		w := NewWriter(n * 8)
+		for i := range widths {
+			widths[i] = uint(rng.Intn(64) + 1)
+			vals[i] = rng.Uint64() & ((1 << widths[i]) - 1)
+			if widths[i] == 64 {
+				vals[i] = rng.Uint64()
+			}
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range widths {
+			got, err := r.ReadBits(widths[i])
+			if err != nil {
+				t.Fatalf("trial %d item %d: %v", trial, i, err)
+			}
+			if got != vals[i] {
+				t.Fatalf("trial %d item %d: got %#x want %#x (width %d)", trial, i, got, vals[i], widths[i])
+			}
+		}
+	}
+}
+
+func BenchmarkWriteBit(b *testing.B) {
+	w := NewWriter(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if w.BitLen() > 1<<23 {
+			w.Reset()
+		}
+		w.WriteBit(uint(i) & 1)
+	}
+}
+
+func BenchmarkWriteGamma(b *testing.B) {
+	w := NewWriter(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if w.BitLen() > 1<<23 {
+			w.Reset()
+		}
+		w.WriteGamma(uint64(i%1000 + 1))
+	}
+}

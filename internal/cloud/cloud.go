@@ -1,0 +1,226 @@
+// Package cloud simulates the paper's experimental infrastructure: client
+// VMs whose RAM, CPU speed and bandwidth are varied (VMware on the two lab
+// machines), the fixed Azure-side VM that downloads and decompresses, and a
+// Blob storage account with containers.
+//
+// The simulation is deterministic: codecs report modeled work (nanoseconds
+// on the 2400 MHz reference core) and peak working-set size; a VM converts
+// these into milliseconds by clock scaling plus a RAM-pressure (thrash)
+// penalty, and models transfers as stream-conversion cost (CPU- and
+// RAM-dependent — the paper's observation that "uploading ... not only
+// depends on bandwidth but RAM and CPU is also significant") plus
+// bandwidth-limited transfer.
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+)
+
+// VM describes one execution context.
+type VM struct {
+	Name          string
+	RAMMB         int
+	CPUMHz        int
+	BandwidthMbps float64
+}
+
+// AzureVM is the fixed cloud-side VM from the paper's setup: "a VM at
+// Windows Azure cloud with 2.1GHz AMD processor with 3.5GB RAM". Its
+// bandwidth is the datacenter link to the storage account.
+var AzureVM = VM{Name: "azure-a2", RAMMB: 3584, CPUMHz: 2100, BandwidthMbps: 100}
+
+// Model constants.
+const (
+	// uploadLatencyMS / downloadLatencyMS are per-BLOB REST round-trip
+	// overheads against the storage account.
+	uploadLatencyMS   = 45.0
+	downloadLatencyMS = 18.0
+	// streamConvNSPerByte is the reference-core cost of converting a file
+	// into the continuous stream the BLOB PUT requires (buffering, base64
+	// framing in the 2014-era SDK, socket writes).
+	streamConvNSPerByte = 220.0
+	// thrashFactor scales the slowdown when an algorithm's working set
+	// exceeds the VM's available RAM (paging on the VMware guests).
+	thrashFactor = 4.0
+	// osReservedMB approximates the guest OS's own working set; only the
+	// remainder is available to the codec process.
+	osReservedMB = 512
+)
+
+// cpuScale converts reference-core time to this VM's time.
+func (vm VM) cpuScale() float64 {
+	if vm.CPUMHz <= 0 {
+		return 1
+	}
+	return float64(compress.ReferenceMHz) / float64(vm.CPUMHz)
+}
+
+// ramPressure returns the multiplicative slowdown from working-set overflow.
+func (vm VM) ramPressure(peakMemBytes int) float64 {
+	availBytes := (vm.RAMMB - osReservedMB) << 20
+	if availBytes <= 0 {
+		availBytes = 1 << 20
+	}
+	if peakMemBytes <= availBytes {
+		return 1
+	}
+	over := float64(peakMemBytes-availBytes) / float64(availBytes)
+	return 1 + thrashFactor*over
+}
+
+// ExecMS converts modeled codec stats into milliseconds on this VM.
+func (vm VM) ExecMS(st compress.Stats) float64 {
+	return float64(st.WorkNS) / 1e6 * vm.cpuScale() * vm.ramPressure(st.PeakMem)
+}
+
+// UploadMS models uploading a BLOB of the given size from this VM: the
+// paper's stream-conversion step (CPU- and RAM-sensitive) plus REST latency
+// plus bandwidth-limited transfer.
+func (vm VM) UploadMS(sizeBytes int) float64 {
+	conv := streamConvNSPerByte * float64(sizeBytes) / 1e6 * vm.cpuScale()
+	// Low-RAM guests pay extra buffering cost on the conversion: the SDK
+	// stages the stream through memory the guest may not have.
+	if vm.RAMMB < 2048 {
+		conv *= 1 + 0.5*float64(2048-vm.RAMMB)/2048
+	}
+	transfer := float64(sizeBytes) * 8 / (vm.BandwidthMbps * 1e6) * 1e3
+	return uploadLatencyMS + conv + transfer
+}
+
+// DownloadMS models the cloud VM fetching a BLOB from the storage account.
+func (vm VM) DownloadMS(sizeBytes int) float64 {
+	conv := streamConvNSPerByte / 2 * float64(sizeBytes) / 1e6 * vm.cpuScale()
+	transfer := float64(sizeBytes) * 8 / (vm.BandwidthMbps * 1e6) * 1e3
+	return downloadLatencyMS + conv + transfer
+}
+
+// String implements fmt.Stringer.
+func (vm VM) String() string {
+	return fmt.Sprintf("%s(ram=%dMB,cpu=%dMHz,bw=%.0fMbps)", vm.Name, vm.RAMMB, vm.CPUMHz, vm.BandwidthMbps)
+}
+
+// Grid returns the 32 client contexts of the paper's experiment design:
+// 4 RAM levels × 4 CPU speeds × 2 bandwidth classes, spanning the two lab
+// hosts (core-2-duo 2.0 GHz / 3 GB and i5 2.4 GHz / 6 GB) and the VMware
+// guests carved out of them.
+func Grid() []VM {
+	rams := []int{1024, 2048, 3584, 6144}
+	cpus := []int{1600, 2000, 2100, 2400}
+	bands := []float64{2, 10}
+	var out []VM
+	for _, r := range rams {
+		for _, c := range cpus {
+			for _, b := range bands {
+				out = append(out, VM{
+					Name:          fmt.Sprintf("vm-r%d-c%d-b%g", r, c, b),
+					RAMMB:         r,
+					CPUMHz:        c,
+					BandwidthMbps: b,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// BlobStore is an in-memory stand-in for the Azure storage account (SAAS)
+// holding uploaded files as BLOBs inside containers. It is safe for
+// concurrent use.
+type BlobStore struct {
+	mu         sync.RWMutex
+	containers map[string]map[string][]byte
+}
+
+// NewBlobStore returns an empty store.
+func NewBlobStore() *BlobStore {
+	return &BlobStore{containers: make(map[string]map[string][]byte)}
+}
+
+// CreateContainer makes a new container; creating an existing container is
+// an error, mirroring the REST API's 409.
+func (s *BlobStore) CreateContainer(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.containers[name]; ok {
+		return fmt.Errorf("cloud: container %q already exists", name)
+	}
+	s.containers[name] = make(map[string][]byte)
+	return nil
+}
+
+// Put uploads a BLOB, overwriting any previous version.
+func (s *BlobStore) Put(container, blob string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[container]
+	if !ok {
+		return fmt.Errorf("cloud: container %q not found", container)
+	}
+	c[blob] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get downloads a BLOB.
+func (s *BlobStore) Get(container, blob string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.containers[container]
+	if !ok {
+		return nil, fmt.Errorf("cloud: container %q not found", container)
+	}
+	data, ok := c[blob]
+	if !ok {
+		return nil, fmt.Errorf("cloud: blob %q not found in %q", blob, container)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Delete removes a BLOB; deleting a missing BLOB is an error.
+func (s *BlobStore) Delete(container, blob string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[container]
+	if !ok {
+		return fmt.Errorf("cloud: container %q not found", container)
+	}
+	if _, ok := c[blob]; !ok {
+		return fmt.Errorf("cloud: blob %q not found in %q", blob, container)
+	}
+	delete(c, blob)
+	return nil
+}
+
+// List returns the sorted BLOB names in a container.
+func (s *BlobStore) List(container string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.containers[container]
+	if !ok {
+		return nil, fmt.Errorf("cloud: container %q not found", container)
+	}
+	names := make([]string, 0, len(c))
+	for n := range c {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Size reports a BLOB's size without copying it.
+func (s *BlobStore) Size(container, blob string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.containers[container]
+	if !ok {
+		return 0, fmt.Errorf("cloud: container %q not found", container)
+	}
+	data, ok := c[blob]
+	if !ok {
+		return 0, fmt.Errorf("cloud: blob %q not found in %q", blob, container)
+	}
+	return len(data), nil
+}

@@ -1,0 +1,192 @@
+package cloud
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+)
+
+func TestGridShape(t *testing.T) {
+	grid := Grid()
+	if len(grid) != 32 {
+		t.Fatalf("grid has %d contexts, want 32 (paper: 33 files × 32 contexts = 1056 rows)", len(grid))
+	}
+	seen := map[string]bool{}
+	for _, vm := range grid {
+		if seen[vm.Name] {
+			t.Errorf("duplicate VM %s", vm.Name)
+		}
+		seen[vm.Name] = true
+		if vm.RAMMB <= 0 || vm.CPUMHz <= 0 || vm.BandwidthMbps <= 0 {
+			t.Errorf("invalid VM %+v", vm)
+		}
+	}
+}
+
+func TestExecMSCPUScaling(t *testing.T) {
+	st := compress.Stats{WorkNS: 24_000_000, PeakMem: 1 << 20} // 24 ms on reference core
+	fast := VM{RAMMB: 4096, CPUMHz: 2400}
+	slow := VM{RAMMB: 4096, CPUMHz: 1200}
+	if got := fast.ExecMS(st); got != 24 {
+		t.Errorf("reference-speed VM: %v ms, want 24", got)
+	}
+	if got := slow.ExecMS(st); got != 48 {
+		t.Errorf("half-speed VM: %v ms, want 48", got)
+	}
+}
+
+func TestExecMSThrash(t *testing.T) {
+	st := compress.Stats{WorkNS: 10_000_000, PeakMem: 100 << 20}
+	roomy := VM{RAMMB: 4096, CPUMHz: 2400}
+	tight := VM{RAMMB: 512 + 50, CPUMHz: 2400} // ~50 MB available after OS
+	base := roomy.ExecMS(st)
+	squeezed := tight.ExecMS(st)
+	if squeezed <= base {
+		t.Fatalf("thrash penalty missing: %v <= %v", squeezed, base)
+	}
+	if squeezed < 2*base {
+		t.Fatalf("100 MB working set in 50 MB RAM should at least double time: %v vs %v", squeezed, base)
+	}
+}
+
+func TestUploadDependsOnCPUAndRAMNotOnlyBandwidth(t *testing.T) {
+	// The paper's key infrastructure observation.
+	const size = 200 << 10
+	base := VM{RAMMB: 4096, CPUMHz: 2400, BandwidthMbps: 10}
+	slowCPU := VM{RAMMB: 4096, CPUMHz: 1200, BandwidthMbps: 10}
+	lowRAM := VM{RAMMB: 1024, CPUMHz: 2400, BandwidthMbps: 10}
+	if slowCPU.UploadMS(size) <= base.UploadMS(size) {
+		t.Error("slower CPU must slow the upload (stream conversion)")
+	}
+	if lowRAM.UploadMS(size) <= base.UploadMS(size) {
+		t.Error("less RAM must slow the upload (buffering)")
+	}
+	lowBW := VM{RAMMB: 4096, CPUMHz: 2400, BandwidthMbps: 2}
+	if lowBW.UploadMS(size) <= base.UploadMS(size) {
+		t.Error("less bandwidth must slow the upload")
+	}
+}
+
+func TestUploadMonotoneInSize(t *testing.T) {
+	vm := VM{RAMMB: 2048, CPUMHz: 2000, BandwidthMbps: 2}
+	prev := -1.0
+	for size := 0; size <= 1<<20; size += 64 << 10 {
+		ms := vm.UploadMS(size)
+		if ms <= prev {
+			t.Fatalf("upload time not monotone at %d bytes", size)
+		}
+		prev = ms
+	}
+}
+
+func TestDownloadFasterThanUploadAtCloud(t *testing.T) {
+	// Datacenter-side download of the same BLOB must be far cheaper than a
+	// 2 Mbps client upload.
+	const size = 100 << 10
+	client := VM{RAMMB: 2048, CPUMHz: 2000, BandwidthMbps: 2}
+	if AzureVM.DownloadMS(size) >= client.UploadMS(size) {
+		t.Error("cloud download should beat slow client upload")
+	}
+}
+
+func TestBlobStoreLifecycle(t *testing.T) {
+	s := NewBlobStore()
+	if err := s.CreateContainer("dna"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateContainer("dna"); err == nil {
+		t.Fatal("duplicate container accepted")
+	}
+	payload := []byte{1, 2, 3, 4}
+	if err := s.Put("dna", "seq1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("dna", "seq1")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	// The store must hold a copy, not alias the caller's buffer.
+	payload[0] = 99
+	got2, _ := s.Get("dna", "seq1")
+	if got2[0] == 99 {
+		t.Fatal("store aliases caller buffer")
+	}
+	if n, err := s.Size("dna", "seq1"); err != nil || n != 4 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if err := s.Put("dna", "seq2", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.List("dna")
+	if err != nil || len(names) != 2 || names[0] != "seq1" || names[1] != "seq2" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if err := s.Delete("dna", "seq1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("dna", "seq1"); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if _, err := s.Get("dna", "seq1"); err == nil {
+		t.Fatal("deleted blob still readable")
+	}
+}
+
+func TestBlobStoreMissingContainer(t *testing.T) {
+	s := NewBlobStore()
+	if err := s.Put("nope", "b", nil); err == nil {
+		t.Error("Put to missing container accepted")
+	}
+	if _, err := s.Get("nope", "b"); err == nil {
+		t.Error("Get from missing container accepted")
+	}
+	if _, err := s.List("nope"); err == nil {
+		t.Error("List of missing container accepted")
+	}
+	if err := s.Delete("nope", "b"); err == nil {
+		t.Error("Delete from missing container accepted")
+	}
+	if _, err := s.Size("nope", "b"); err == nil {
+		t.Error("Size from missing container accepted")
+	}
+}
+
+func TestBlobStoreConcurrent(t *testing.T) {
+	s := NewBlobStore()
+	if err := s.CreateContainer("c"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				name := fmt.Sprintf("blob-%d-%d", g, i)
+				if err := s.Put("c", name, []byte{byte(g), byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get("c", name); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	names, err := s.List("c")
+	if err != nil || len(names) != 800 {
+		t.Fatalf("List = %d names, %v", len(names), err)
+	}
+}
+
+func TestVMString(t *testing.T) {
+	vm := VM{Name: "x", RAMMB: 1024, CPUMHz: 2000, BandwidthMbps: 2}
+	if s := vm.String(); s != "x(ram=1024MB,cpu=2000MHz,bw=2Mbps)" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,87 @@
+package biocompress
+
+import (
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/compress/compresstest"
+	"github.com/srl-nuces/ctxdna/internal/seq"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+func TestConformance(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(Config{}) })
+}
+
+func TestConformanceLowThreshold(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(Config{MinRepeat: 12}) })
+}
+
+func TestRepeatRichBeatsTwoBit(t *testing.T) {
+	p := synth.Profile{Name: "rich", Length: 60000, GC: 0.4, RepeatProb: 0.025, RepeatMin: 40, RepeatMax: 800, RCFraction: 0.2, MutationRate: 0.003}
+	compresstest.RatioUnder(t, New(Config{}), p, 42, 1.85)
+}
+
+func TestPalindromeExploited(t *testing.T) {
+	p := synth.Profile{Length: 20000, GC: 0.5}
+	half := p.Generate(9)
+	full := append(append([]byte{}, half...), seq.ReverseComplement(half)...)
+	c := New(Config{})
+	fullOut, _, err := c.Compress(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halfOut, _, err := c.Compress(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(fullOut)) > 1.1*float64(len(halfOut)) {
+		t.Fatalf("palindrome not exploited: %d vs %d", len(fullOut), len(halfOut))
+	}
+}
+
+func TestSectionFraming(t *testing.T) {
+	// Corrupting the token-section length must fail cleanly, not panic.
+	p := synth.Profile{Length: 5000, GC: 0.4, RepeatProb: 0.02, RepeatMin: 30, RepeatMax: 200}
+	src := p.Generate(3)
+	c := New(Config{})
+	data, _, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte{}, data...)
+	bad[1] = 0xFF // inflate token-section varint
+	if _, _, err := c.Decompress(bad[:4]); err == nil {
+		t.Fatal("accepted truncated sections")
+	}
+}
+
+func TestDecompressionCheaper(t *testing.T) {
+	p := synth.Profile{Length: 40000, GC: 0.4, RepeatProb: 0.02, RepeatMin: 30, RepeatMax: 400, RCFraction: 0.2}
+	src := p.Generate(4)
+	c := New(Config{})
+	data, cst, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dst, err := c.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.WorkNS >= cst.WorkNS {
+		t.Fatalf("decompress work %d >= compress work %d", dst.WorkNS, cst.WorkNS)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	p := synth.Profile{Length: 1 << 17, GC: 0.4, RepeatProb: 0.015, RepeatMin: 20, RepeatMax: 400, RCFraction: 0.2, MutationRate: 0.01}
+	src := p.Generate(1)
+	c := New(Config{})
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

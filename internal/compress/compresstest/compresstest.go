@@ -1,0 +1,173 @@
+// Package compresstest provides the conformance suite every codec in this
+// repository must pass: exact round-trips over the benchmark corpus,
+// degenerate inputs, and randomized property tests via testing/quick.
+package compresstest
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/seq"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+// RoundTrip compresses src and verifies exact reconstruction, returning the
+// compressed size. It fails the test on any error or mismatch.
+func RoundTrip(t *testing.T, c compress.Codec, src []byte) int {
+	t.Helper()
+	data, cst, err := c.Compress(src)
+	if err != nil {
+		t.Fatalf("%s: Compress(%d bases): %v", c.Name(), len(src), err)
+	}
+	got, dst, err := c.Decompress(data)
+	if err != nil {
+		t.Fatalf("%s: Decompress(%d bytes): %v", c.Name(), len(data), err)
+	}
+	if !bytes.Equal(got, src) {
+		i := firstDiff(got, src)
+		t.Fatalf("%s: round trip mismatch: len got %d want %d, first diff at %d",
+			c.Name(), len(got), len(src), i)
+	}
+	if cst.WorkNS < 0 || dst.WorkNS < 0 {
+		t.Fatalf("%s: negative modeled work", c.Name())
+	}
+	if len(src) > 0 && cst.PeakMem <= 0 {
+		t.Fatalf("%s: non-positive peak memory %d", c.Name(), cst.PeakMem)
+	}
+	return len(data)
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// Conformance runs the full shared suite against a fresh codec from ctor.
+func Conformance(t *testing.T, ctor func() compress.Codec) {
+	t.Helper()
+
+	t.Run("Empty", func(t *testing.T) {
+		RoundTrip(t, ctor(), nil)
+		RoundTrip(t, ctor(), []byte{})
+	})
+
+	t.Run("TinyInputs", func(t *testing.T) {
+		c := ctor()
+		for n := 1; n <= 40; n++ {
+			s := make([]byte, n)
+			for i := range s {
+				s[i] = byte((i*5 + n) % 4)
+			}
+			RoundTrip(t, c, s)
+		}
+	})
+
+	t.Run("Homopolymer", func(t *testing.T) {
+		for _, base := range []byte{seq.A, seq.C, seq.G, seq.T} {
+			RoundTrip(t, ctor(), bytes.Repeat([]byte{base}, 5000))
+		}
+	})
+
+	t.Run("PeriodicRuns", func(t *testing.T) {
+		RoundTrip(t, ctor(), bytes.Repeat([]byte{0, 1, 2, 3}, 2000))
+		RoundTrip(t, ctor(), bytes.Repeat([]byte{0, 0, 1}, 3000))
+	})
+
+	t.Run("RandomIID", func(t *testing.T) {
+		p := synth.Profile{Length: 20000, GC: 0.5}
+		RoundTrip(t, ctor(), p.Generate(101))
+	})
+
+	t.Run("RepeatRich", func(t *testing.T) {
+		p := synth.Profile{Length: 30000, GC: 0.4, RepeatProb: 0.02, RepeatMin: 20, RepeatMax: 500, RCFraction: 0.25, MutationRate: 0.01}
+		RoundTrip(t, ctor(), p.Generate(102))
+	})
+
+	t.Run("PalindromeRich", func(t *testing.T) {
+		p := synth.Profile{Length: 20000, GC: 0.5, RepeatProb: 0.02, RepeatMin: 20, RepeatMax: 300, RCFraction: 0.9, MutationRate: 0.005}
+		RoundTrip(t, ctor(), p.Generate(103))
+	})
+
+	t.Run("BenchmarkCorpusSmall", func(t *testing.T) {
+		// The two smallest corpus members keep the conformance suite fast;
+		// full-corpus ratios are exercised by the experiment tests.
+		for _, prof := range synth.Benchmark() {
+			if prof.Length > 60000 {
+				continue
+			}
+			prof := prof
+			t.Run(prof.Name, func(t *testing.T) {
+				RoundTrip(t, ctor(), prof.Generate(2015))
+			})
+		}
+	})
+
+	t.Run("QuickRandom", func(t *testing.T) {
+		c := ctor()
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 25; trial++ {
+			n := rng.Intn(4000)
+			s := make([]byte, n)
+			for i := range s {
+				s[i] = byte(rng.Intn(4))
+			}
+			RoundTrip(t, c, s)
+		}
+	})
+
+	t.Run("MutatedCopy", func(t *testing.T) {
+		// Two near-identical halves: the 99.9 % intra-species similarity
+		// scenario from the paper's background section.
+		p := synth.Profile{Length: 15000, GC: 0.45}
+		first := p.Generate(55)
+		second := append([]byte{}, first...)
+		rng := rand.New(rand.NewSource(56))
+		for i := range second {
+			if rng.Float64() < 0.001 {
+				second[i] = (second[i] + byte(1+rng.Intn(3))) & 3
+			}
+		}
+		RoundTrip(t, ctor(), append(first, second...))
+	})
+
+	t.Run("DecompressGarbage", func(t *testing.T) {
+		// Arbitrary bytes must never panic; error or garbage-free failure
+		// both acceptable, silent success on clearly-truncated framing not.
+		c := ctor()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: Decompress panicked: %v", c.Name(), r)
+			}
+		}()
+		inputs := [][]byte{
+			{0xff}, {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+			bytes.Repeat([]byte{0xA5}, 100),
+		}
+		for _, in := range inputs {
+			c.Decompress(in) // must not panic
+		}
+	})
+}
+
+// RatioUnder asserts the codec compresses the given profile below maxBitsPerBase.
+func RatioUnder(t *testing.T, c compress.Codec, p synth.Profile, seed int64, maxBitsPerBase float64) {
+	t.Helper()
+	src := p.Generate(seed)
+	data, _, err := c.Compress(src)
+	if err != nil {
+		t.Fatalf("%s: %v", c.Name(), err)
+	}
+	if bpb := compress.Ratio(len(src), len(data)); bpb > maxBitsPerBase {
+		t.Fatalf("%s on %s: %.3f bits/base, want <= %.3f", c.Name(), p.Name, bpb, maxBitsPerBase)
+	}
+}

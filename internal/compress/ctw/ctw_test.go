@@ -1,0 +1,160 @@
+package ctw
+
+import (
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/compress/compresstest"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+func TestConformance(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(DefaultDepth) })
+}
+
+func TestConformanceShallow(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(4) })
+}
+
+func TestRatioBeatsTwoBits(t *testing.T) {
+	// On repeat-rich DNA, CTW must beat the 2-bit floor comfortably.
+	p := synth.Profile{Name: "rich", Length: 60000, GC: 0.4, RepeatProb: 0.02, RepeatMin: 20, RepeatMax: 500, RCFraction: 0.2, MutationRate: 0.01}
+	compresstest.RatioUnder(t, New(DefaultDepth), p, 42, 1.9)
+}
+
+func TestRatioOnIIDNearTwoBits(t *testing.T) {
+	// On iid uniform DNA no model can beat 2 bits/base; CTW must stay close
+	// (KT redundancy is O(log n / n)).
+	p := synth.Profile{Name: "iid", Length: 50000, GC: 0.5}
+	src := p.Generate(7)
+	data, _, err := New(DefaultDepth).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpb := compress.Ratio(len(src), len(data))
+	if bpb > 2.10 {
+		t.Fatalf("iid rate %.3f bits/base, want <= 2.10", bpb)
+	}
+	if bpb < 1.95 {
+		t.Fatalf("iid rate %.3f bits/base is below entropy — broken accounting", bpb)
+	}
+}
+
+func TestDepthImprovesStructuredRatio(t *testing.T) {
+	// A strongly Markov source should compress better with more context.
+	p := synth.Profile{Name: "markov", Length: 40000, GC: 0.35, RepeatProb: 0.03, RepeatMin: 30, RepeatMax: 600, RCFraction: 0, MutationRate: 0.005}
+	src := p.Generate(9)
+	shallow, _, err := New(2).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, _, err := New(16).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deep) >= len(shallow) {
+		t.Fatalf("depth 16 (%d bytes) did not beat depth 2 (%d bytes)", len(deep), len(shallow))
+	}
+}
+
+func TestStatsSymmetry(t *testing.T) {
+	// CTW's decompression runs the same mixture computation as compression:
+	// modeled work must be identical — this is what makes its decompression
+	// the slowest of the paper's four codecs.
+	p := synth.Profile{Length: 20000, GC: 0.4, RepeatProb: 0.01, RepeatMin: 20, RepeatMax: 200}
+	src := p.Generate(3)
+	c := New(DefaultDepth)
+	data, cst, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dst, err := c.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.WorkNS != dst.WorkNS {
+		t.Fatalf("work asymmetry: compress %d, decompress %d", cst.WorkNS, dst.WorkNS)
+	}
+	if cst.PeakMem < 1<<20 {
+		t.Errorf("CTW peak memory %d suspiciously small for a depth-16 tree", cst.PeakMem)
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	p := synth.Profile{Length: 100000, GC: 0.45, RepeatProb: 0.01, RepeatMin: 15, RepeatMax: 200}
+	src := p.Generate(5)
+	tr := newTree(16, 2*len(src))
+	var ctx uint32
+	mask := uint32(1<<16) - 1
+	for _, sym := range src[:20000] {
+		for shift := 1; shift >= 0; shift-- {
+			bit := int(sym >> shift & 1)
+			tr.descend(ctx)
+			tr.update(bit)
+			ctx = (ctx<<1 | uint32(bit)) & mask
+		}
+	}
+	if len(tr.nodes) > 1<<17 {
+		t.Fatalf("%d nodes exceeds the context-space bound", len(tr.nodes))
+	}
+}
+
+func TestRejectsInvalidSymbol(t *testing.T) {
+	if _, _, err := New(8).Compress([]byte{0, 1, 4}); err == nil {
+		t.Fatal("accepted invalid symbol")
+	}
+}
+
+func TestRejectsBadHeader(t *testing.T) {
+	c := New(8)
+	if _, _, err := c.Decompress(nil); err == nil {
+		t.Fatal("accepted empty stream")
+	}
+	if _, _, err := c.Decompress([]byte{99, 1, 2, 3}); err == nil {
+		t.Fatal("accepted absurd depth")
+	}
+}
+
+func TestNewPanicsOnBadDepth(t *testing.T) {
+	for _, d := range []int{0, -1, 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", d)
+				}
+			}()
+			New(d)
+		}()
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	p := synth.Profile{Length: 1 << 17, GC: 0.4, RepeatProb: 0.015, RepeatMin: 20, RepeatMax: 400, MutationRate: 0.01}
+	src := p.Generate(1)
+	c := New(DefaultDepth)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	p := synth.Profile{Length: 1 << 17, GC: 0.4, RepeatProb: 0.015, RepeatMin: 20, RepeatMax: 400, MutationRate: 0.01}
+	src := p.Generate(1)
+	c := New(DefaultDepth)
+	data, _, err := c.Compress(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Decompress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package dnacompress
+
+import (
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/compress/compresstest"
+	"github.com/srl-nuces/ctxdna/internal/compress/dnax"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+func TestConformance(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(Config{}) })
+}
+
+func TestConformanceCustomSeed(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(Config{Seed: "11011011011"}) })
+}
+
+func TestSpacedSeedsBeatExactParseOnDenseMutations(t *testing.T) {
+	// Repeats mutated every ~10 bases: contiguous-anchor exact matching
+	// fragments badly; PatternHunter anchors + edit extension should win.
+	p := synth.Profile{Length: 60000, GC: 0.4, RepeatProb: 0.002, RepeatMin: 60, RepeatMax: 600,
+		RCFraction: 0, MutationRate: 0.1, LocalOrder: 3, LocalBias: 0.8}
+	src := p.Generate(17)
+	dcOut, _, err := New(Config{}).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnaxOut, _, err := dnax.New(dnax.Config{Stride: 1}).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcBPB := compress.Ratio(len(src), len(dcOut))
+	dnaxBPB := compress.Ratio(len(src), len(dnaxOut))
+	t.Logf("dnacompress %.3f bits/base vs dnax(stride=1) %.3f at 10%% repeat divergence", dcBPB, dnaxBPB)
+	if dcBPB >= dnaxBPB {
+		t.Errorf("spaced-seed codec (%.3f) should beat exact-only parse (%.3f) on dense mutations", dcBPB, dnaxBPB)
+	}
+}
+
+func TestNewPanicsOnBadSeed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad seed did not panic")
+		}
+	}()
+	New(Config{Seed: "0110"})
+}
+
+func TestRejectsInvalidSymbol(t *testing.T) {
+	if _, _, err := New(Config{}).Compress([]byte{0, 6}); err == nil {
+		t.Fatal("accepted invalid symbol")
+	}
+}
+
+func TestRejectsEmptyStream(t *testing.T) {
+	if _, _, err := New(Config{}).Decompress(nil); err == nil {
+		t.Fatal("accepted empty stream")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	p := synth.Profile{Length: 1 << 17, GC: 0.4, RepeatProb: 0.0015, RepeatMin: 20, RepeatMax: 400, MutationRate: 0.05, LocalOrder: 3, LocalBias: 0.8}
+	src := p.Generate(1)
+	c := New(Config{})
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

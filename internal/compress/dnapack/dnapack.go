@@ -1,0 +1,289 @@
+// Package dnapack implements a DNAPack-style compressor (Behzadi & Le
+// Fessant, CPM 2005 — the paper's Table 1 row "DNAPack: Dynamic programming
+// to search repeats | Hamming distance | order-2 arithmetic coding or
+// context tree weighting or naïve 2-bits").
+//
+// Unlike the greedy parsers (DNAX, GenCompress, BioCompress), DNAPack picks
+// its repeat cover by dynamic programming: a backward pass computes, for
+// every position, the cheapest encoding of the remaining suffix, choosing
+// between a literal and every candidate repeat (exact matches extended with
+// Hamming-distance substitutions); the forward pass then emits the optimal
+// decisions. Candidates at each position are gathered in a prior
+// left-to-right pass so that every repeat's source lies strictly in the
+// decoded prefix.
+//
+// Stream layout (one range-coder stream after a uvarint base count):
+//
+//	token   : flag bit (0 literal / 1 repeat)
+//	literal : symbol through the order-2 context model
+//	repeat  : distance-1 (UintModel), length-minRepeat (UintModel),
+//	          subCount (UintModel), then per substitution a delta offset
+//	          (UintModel) and the 2-bit base
+package dnapack
+
+import (
+	"encoding/binary"
+
+	"github.com/srl-nuces/ctxdna/internal/arith"
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/match"
+)
+
+func init() {
+	compress.Register("dnapack", func() compress.Codec { return New(Config{}) })
+}
+
+// Config tunes the codec; zero values select defaults.
+type Config struct {
+	MinRepeat int // minimum repeat length (default 16)
+	MaxChain  int // matcher candidate walk bound
+	MaxSubs   int // Hamming substitution budget per repeat (default 8)
+}
+
+// Defaults.
+const (
+	DefaultMinRepeat = 16
+	DefaultMaxSubs   = 8
+)
+
+// Codec implements compress.Codec.
+type Codec struct {
+	cfg Config
+}
+
+// New returns a DNAPack codec.
+func New(cfg Config) *Codec {
+	if cfg.MinRepeat == 0 {
+		cfg.MinRepeat = DefaultMinRepeat
+	}
+	if cfg.MinRepeat < match.DefaultK {
+		cfg.MinRepeat = match.DefaultK
+	}
+	if cfg.MaxChain == 0 {
+		// The DP gathers candidates at *every* position (greedy parsers
+		// only search at parse positions), so the per-position chain walk
+		// is kept shorter to stay near the greedy coders' total search cost.
+		cfg.MaxChain = 16
+	}
+	if cfg.MaxSubs == 0 {
+		cfg.MaxSubs = DefaultMaxSubs
+	}
+	return &Codec{cfg: cfg}
+}
+
+// Name implements compress.Codec.
+func (*Codec) Name() string { return "dnapack" }
+
+// candidate is one approximate repeat usable at a target position.
+type candidate struct {
+	src  int
+	tlen int
+	subs []match.EditOp // OpSub only
+}
+
+// Cost estimates in integer "centibits" so the DP stays in int64.
+const (
+	literalCB = 195 // ~1.95 bits through order-2 on DNA
+	flagCB    = 10
+	subCB     = 900 // offset delta + base, adaptive average
+)
+
+func bitLen32(v int) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+func descriptorCB(c candidate, pos int) int64 {
+	dist := pos - c.src
+	return int64(flagCB + 100*(2*bitLen32(dist)+2*bitLen32(c.tlen)+2*bitLen32(len(c.subs)+1)) +
+		subCB*len(c.subs))
+}
+
+// Cost model: candidate gathering mirrors DNAX's search plus a Hamming
+// extension per candidate; the DP adds two linear passes. The reference
+// DNAPack binary is research-grade, though less extreme than GenCompress.
+const (
+	nsPerProbe          = 8.0
+	nsPerExtend         = 3.0
+	nsPerLiteral        = 55.0
+	nsPerMatch          = 260.0
+	nsPerCopied         = 3.5
+	nsPerSearch         = 70.0
+	nsPerIndexed        = 15.0
+	nsPerDPStep         = 12.0
+	startupCompressNS   = 15_000_000
+	startupDecompressNS = 3_000_000
+	implFactor          = 2.0
+)
+
+// Compress implements compress.Codec.
+func (c *Codec) Compress(src []byte) ([]byte, compress.Stats, error) {
+	var hdr [binary.MaxVarintLen64]byte
+	hn := binary.PutUvarint(hdr[:], uint64(len(src)))
+
+	for i, s := range src {
+		if s > 3 {
+			return nil, compress.Stats{}, compress.Corruptf("dnapack: invalid symbol %d at %d", s, i)
+		}
+	}
+
+	// Pass 1 (left to right): gather the best candidate per position with
+	// sources strictly inside the prefix.
+	m := match.NewHashMatcher(src, match.WithMaxChain(c.cfg.MaxChain))
+	var searchStats match.Stats
+	approxCfg := match.ApproxConfig{MaxOps: c.cfg.MaxSubs, MaxRun: 2, Lookahead: 4, HammingOnly: true}
+	cands := make([]candidate, len(src))
+	for i := range src {
+		m.Advance(i)
+		mt, ok := m.FindForward(i)
+		if !ok || mt.Src+mt.Len > i {
+			continue
+		}
+		am := match.ExtendApprox(src, mt.Src, i, mt.Len, approxCfg, &searchStats)
+		if am.TLen < c.cfg.MinRepeat {
+			continue
+		}
+		cands[i] = candidate{src: am.Src, tlen: am.TLen, subs: am.Ops}
+	}
+
+	// Pass 2 (right to left): DP over suffix costs.
+	n := len(src)
+	cost := make([]int64, n+1)
+	take := make([]bool, n)
+	for i := n - 1; i >= 0; i-- {
+		cost[i] = cost[i+1] + literalCB + flagCB
+		if cd := cands[i]; cd.tlen > 0 {
+			if alt := cost[i+cd.tlen] + descriptorCB(cd, i); alt < cost[i] {
+				cost[i] = alt
+				take[i] = true
+			}
+		}
+	}
+
+	// Pass 3: emit the optimal parse.
+	lit := arith.NewSymbolModel(2)
+	flag := arith.NewProb()
+	distM := arith.NewUintModel()
+	lenM := arith.NewUintModel()
+	subCountM := arith.NewUintModel()
+	subOffM := arith.NewUintModel()
+	baseProbs := arith.NewProbSlice(2)
+	enc := arith.NewEncoder(len(src)/3 + 64)
+
+	var literals, matches, copied, subsEmitted int64
+	i := 0
+	for i < n {
+		if take[i] {
+			cd := cands[i]
+			enc.EncodeBit(&flag, 1)
+			distM.Encode(enc, uint64(i-cd.src-1))
+			lenM.Encode(enc, uint64(cd.tlen-c.cfg.MinRepeat))
+			subCountM.Encode(enc, uint64(len(cd.subs)))
+			prev := 0
+			for _, op := range cd.subs {
+				subOffM.Encode(enc, uint64(op.Off-prev))
+				prev = op.Off
+				enc.EncodeBit(&baseProbs[0], int(op.Base>>1))
+				enc.EncodeBit(&baseProbs[1], int(op.Base&1))
+			}
+			for t := 0; t < cd.tlen; t++ {
+				lit.Observe(src[i+t])
+			}
+			matches++
+			copied += int64(cd.tlen)
+			subsEmitted += int64(len(cd.subs))
+			i += cd.tlen
+			continue
+		}
+		enc.EncodeBit(&flag, 0)
+		lit.Encode(enc, src[i])
+		literals++
+		i++
+	}
+	payload := enc.Finish()
+	out := make([]byte, 0, hn+len(payload))
+	out = append(out, hdr[:hn]...)
+	out = append(out, payload...)
+
+	ms := m.Stats()
+	searchStats.Probes += ms.Probes
+	searchStats.Extends += ms.Extends
+	st := compress.Stats{
+		WorkNS: startupCompressNS + int64(implFactor*(nsPerProbe*float64(searchStats.Probes)+
+			nsPerExtend*float64(searchStats.Extends)+nsPerSearch*float64(n)+
+			nsPerIndexed*float64(n)+nsPerDPStep*float64(n)+
+			nsPerLiteral*float64(literals)+nsPerMatch*float64(matches)+nsPerCopied*float64(copied))),
+		PeakMem: m.MemoryFootprint() + lit.MemoryFootprint() +
+			16*n + // cands + cost + take
+			len(src) + len(out),
+	}
+	return out, st, nil
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(data []byte) ([]byte, compress.Stats, error) {
+	nBases, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, compress.Stats{}, compress.Corruptf("dnapack: bad length header")
+	}
+	if nBases > 1<<34 {
+		return nil, compress.Stats{}, compress.Corruptf("dnapack: implausible length %d", nBases)
+	}
+	lit := arith.NewSymbolModel(2)
+	flag := arith.NewProb()
+	distM := arith.NewUintModel()
+	lenM := arith.NewUintModel()
+	subCountM := arith.NewUintModel()
+	subOffM := arith.NewUintModel()
+	baseProbs := arith.NewProbSlice(2)
+	dec := arith.NewDecoder(data[used:])
+
+	out := make([]byte, 0, nBases)
+	var literals, matches, copied int64
+	for uint64(len(out)) < nBases {
+		if dec.DecodeBit(&flag) == 0 {
+			out = append(out, lit.Decode(dec))
+			literals++
+			continue
+		}
+		dist := int(distM.Decode(dec)) + 1
+		srcPos := len(out) - dist
+		tlen := int(lenM.Decode(dec)) + c.cfg.MinRepeat
+		nSubs := int(subCountM.Decode(dec))
+		if srcPos < 0 || tlen <= 0 || uint64(len(out))+uint64(tlen) > nBases || nSubs > c.cfg.MaxSubs+1 || srcPos+tlen > len(out) {
+			return nil, compress.Stats{}, compress.Corruptf("dnapack: repeat descriptor out of range (src %d len %d subs %d)", srcPos, tlen, nSubs)
+		}
+		subs := make(map[int]byte, nSubs)
+		prev := 0
+		for s := 0; s < nSubs; s++ {
+			off := prev + int(subOffM.Decode(dec))
+			prev = off
+			hi := dec.DecodeBit(&baseProbs[0])
+			lo := dec.DecodeBit(&baseProbs[1])
+			if off >= tlen {
+				return nil, compress.Stats{}, compress.Corruptf("dnapack: substitution offset %d beyond repeat %d", off, tlen)
+			}
+			subs[off] = byte(hi<<1 | lo)
+		}
+		for t := 0; t < tlen; t++ {
+			b := out[srcPos+t]
+			if sb, ok := subs[t]; ok {
+				b = sb
+			}
+			out = append(out, b)
+			lit.Observe(b)
+		}
+		matches++
+		copied += int64(tlen)
+	}
+	st := compress.Stats{
+		WorkNS: startupDecompressNS + int64(implFactor*(nsPerLiteral*float64(literals)+
+			nsPerMatch*float64(matches)+nsPerCopied*float64(copied))),
+		PeakMem: lit.MemoryFootprint() + len(data) + int(nBases),
+	}
+	return out, st, nil
+}

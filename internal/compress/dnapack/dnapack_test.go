@@ -1,0 +1,104 @@
+package dnapack
+
+import (
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/compress/compresstest"
+	"github.com/srl-nuces/ctxdna/internal/compress/dnax"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+func TestConformance(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(Config{}) })
+}
+
+func TestConformanceTightBudget(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(Config{MaxSubs: 2, MinRepeat: 20}) })
+}
+
+func TestDPParseBeatsGreedyExactParse(t *testing.T) {
+	// The DP parse with Hamming repeats should beat DNAX's greedy
+	// exact-only parse on mutated-repeat DNA (that is DNAPack's claim:
+	// "better results than Gencompress, Ctw and DNACompress").
+	p := synth.Profile{Length: 80000, GC: 0.4, RepeatProb: 0.002, RepeatMin: 30, RepeatMax: 500,
+		RCFraction: 0, MutationRate: 0.03, LocalOrder: 3, LocalBias: 0.8}
+	src := p.Generate(11)
+	packOut, _, err := New(Config{}).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against exhaustive-stride DNAX so the difference is the
+	// parse strategy, not the fingerprint loss.
+	dnaxOut, _, err := dnax.New(dnax.Config{Stride: 1}).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packBPB := compress.Ratio(len(src), len(packOut))
+	dnaxBPB := compress.Ratio(len(src), len(dnaxOut))
+	t.Logf("dnapack %.3f bits/base vs dnax(stride=1) %.3f", packBPB, dnaxBPB)
+	if packBPB >= dnaxBPB {
+		t.Errorf("DP+Hamming parse (%.3f) should beat greedy exact parse (%.3f)", packBPB, dnaxBPB)
+	}
+}
+
+func TestSubstitutionBudgetRespected(t *testing.T) {
+	p := synth.Profile{Length: 30000, GC: 0.4, RepeatProb: 0.003, RepeatMin: 40, RepeatMax: 400, MutationRate: 0.05}
+	src := p.Generate(3)
+	for _, maxSubs := range []int{1, 4, 16} {
+		c := New(Config{MaxSubs: maxSubs})
+		data, _, err := c.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, _, err := c.Decompress(data)
+		if err != nil {
+			t.Fatalf("MaxSubs=%d: %v", maxSubs, err)
+		}
+		if len(restored) != len(src) {
+			t.Fatalf("MaxSubs=%d: round trip length", maxSubs)
+		}
+	}
+}
+
+func TestDecompressionCheap(t *testing.T) {
+	p := synth.Profile{Length: 50000, GC: 0.4, RepeatProb: 0.002, RepeatMin: 30, RepeatMax: 400, MutationRate: 0.03}
+	src := p.Generate(7)
+	c := New(Config{})
+	data, cst, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dst, err := c.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.WorkNS >= cst.WorkNS {
+		t.Fatalf("decompress %d not below compress %d", dst.WorkNS, cst.WorkNS)
+	}
+}
+
+func TestRejectsInvalidSymbol(t *testing.T) {
+	if _, _, err := New(Config{}).Compress([]byte{0, 7}); err == nil {
+		t.Fatal("accepted invalid symbol")
+	}
+}
+
+func TestRejectsEmptyStream(t *testing.T) {
+	if _, _, err := New(Config{}).Decompress(nil); err == nil {
+		t.Fatal("accepted empty stream")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	p := synth.Profile{Length: 1 << 17, GC: 0.4, RepeatProb: 0.0015, RepeatMin: 20, RepeatMax: 400, MutationRate: 0.03, LocalOrder: 3, LocalBias: 0.8}
+	src := p.Generate(1)
+	c := New(Config{})
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package dnax
+
+import (
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/compress/compresstest"
+	"github.com/srl-nuces/ctxdna/internal/seq"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+func TestConformance(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(Config{}) })
+}
+
+func TestConformanceTightChain(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(Config{MaxChain: 4, MinRepeat: 20}) })
+}
+
+func TestRepeatRichBeatsTwoBit(t *testing.T) {
+	p := synth.Profile{Name: "rich", Length: 80000, GC: 0.4, RepeatProb: 0.025, RepeatMin: 30, RepeatMax: 800, RCFraction: 0.2, MutationRate: 0.005}
+	compresstest.RatioUnder(t, New(Config{}), p, 42, 1.7)
+}
+
+func TestReverseComplementExploited(t *testing.T) {
+	// A sequence that is literally block + RC(block): the codec must spend
+	// almost nothing on the second half.
+	p := synth.Profile{Length: 30000, GC: 0.5}
+	half := p.Generate(9)
+	full := append(append([]byte{}, half...), seq.ReverseComplement(half)...)
+	c := New(Config{})
+	data, _, err := c.Compress(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, _, err := c.Compress(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The doubled sequence should cost barely more than the half.
+	if float64(len(data)) > 1.1*float64(len(baseline)) {
+		t.Fatalf("palindrome not exploited: full %d bytes vs half %d", len(data), len(baseline))
+	}
+}
+
+func TestDecompressionMuchCheaperThanCompression(t *testing.T) {
+	// The defining DNAX property in the paper: decompression skips match
+	// finding entirely and is far cheaper than compression.
+	p := synth.Profile{Length: 60000, GC: 0.4, RepeatProb: 0.015, RepeatMin: 20, RepeatMax: 400, RCFraction: 0.2, MutationRate: 0.01}
+	src := p.Generate(3)
+	c := New(Config{})
+	data, cst, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dst, err := c.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare marginal (per-byte) work: the fixed startup cost applies to
+	// both directions and is assessed separately by the small-file tests.
+	if (dst.WorkNS-startupDecompressNS)*2 > cst.WorkNS-startupCompressNS {
+		t.Fatalf("marginal decompress work %d not well below compress work %d",
+			dst.WorkNS-startupDecompressNS, cst.WorkNS-startupCompressNS)
+	}
+}
+
+func TestMinRepeatMonotonicity(t *testing.T) {
+	// Raising the minimum repeat length cannot make the parse denser: with
+	// a very high threshold the codec degenerates toward pure order-2.
+	p := synth.Profile{Length: 40000, GC: 0.4, RepeatProb: 0.02, RepeatMin: 20, RepeatMax: 300, MutationRate: 0.01}
+	src := p.Generate(5)
+	loose, _, err := New(Config{MinRepeat: 16}).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, _, err := New(Config{MinRepeat: 256}).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) < len(loose) {
+		t.Fatalf("stricter threshold compressed better: %d < %d", len(strict), len(loose))
+	}
+	// Both must round-trip regardless.
+	for _, cfg := range []Config{{MinRepeat: 16}, {MinRepeat: 256}} {
+		compresstest.RoundTrip(t, New(cfg), src)
+	}
+}
+
+func TestRejectsInvalidSymbol(t *testing.T) {
+	if _, _, err := New(Config{}).Compress([]byte{1, 2, 9}); err == nil {
+		t.Fatal("accepted invalid symbol")
+	}
+}
+
+func TestRejectsTruncatedHeader(t *testing.T) {
+	if _, _, err := New(Config{}).Decompress(nil); err == nil {
+		t.Fatal("accepted empty input")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	p := synth.Profile{Length: 1 << 18, GC: 0.4, RepeatProb: 0.015, RepeatMin: 20, RepeatMax: 400, RCFraction: 0.2, MutationRate: 0.01}
+	src := p.Generate(1)
+	c := New(Config{})
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	p := synth.Profile{Length: 1 << 18, GC: 0.4, RepeatProb: 0.015, RepeatMin: 20, RepeatMax: 400, RCFraction: 0.2, MutationRate: 0.01}
+	src := p.Generate(1)
+	c := New(Config{})
+	data, _, err := c.Compress(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Decompress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package compress_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+
+	_ "github.com/srl-nuces/ctxdna/internal/compress/dnacompress"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/dnapack"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/xm"
+)
+
+// FuzzDecompressAll feeds arbitrary bytes to every registered codec's
+// decompressor: none may panic, loop forever, or allocate absurdly; they
+// either error or produce some output. Run `go test -fuzz FuzzDecompressAll
+// ./internal/compress` for a longer campaign; the seeds below run in plain
+// `go test`.
+func FuzzDecompressAll(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0xA5}, 64))
+	f.Add([]byte{16, 0, 0, 0, 0, 0})          // plausible tiny header
+	f.Add([]byte{200, 200, 200, 200, 200, 1}) // huge varint length
+	f.Add(append([]byte{40}, bytes.Repeat([]byte{0x55}, 100)...))
+	// A valid dnax stream prefix with a corrupted tail.
+	{
+		c, err := compress.New("dnax")
+		if err == nil {
+			if data, _, err := c.Compress([]byte{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3}); err == nil {
+				data[len(data)-1] ^= 0xFF
+				f.Add(data)
+			}
+		}
+	}
+	names := compress.Names()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		for _, name := range names {
+			c, err := compress.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, _, err := c.Decompress(data)
+			if err == nil && len(out) > 1<<26 {
+				t.Fatalf("%s: decompressed %d bytes from %d-byte garbage", name, len(out), len(data))
+			}
+		}
+	})
+}
+
+// FuzzRoundTripAll compresses arbitrary (masked) symbol sequences with every
+// codec and demands exact reconstruction.
+func FuzzRoundTripAll(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte("ACGTACGTACGTAAAA"))
+	f.Add(bytes.Repeat([]byte{0, 1, 2, 3}, 200))
+	f.Add(bytes.Repeat([]byte{3}, 1000))
+	names := compress.Names()
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 1<<14 {
+			return
+		}
+		src := make([]byte, len(raw))
+		for i, b := range raw {
+			src[i] = b & 3
+		}
+		for _, name := range names {
+			c, err := compress.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _, err := c.Compress(src)
+			if err != nil {
+				t.Fatalf("%s: compress: %v", name, err)
+			}
+			got, _, err := c.Decompress(data)
+			if err != nil {
+				t.Fatalf("%s: decompress: %v", name, err)
+			}
+			if !bytes.Equal(got, src) {
+				t.Fatalf("%s: round trip mismatch for %d bases", name, len(src))
+			}
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package gencompress
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/compress/compresstest"
+	"github.com/srl-nuces/ctxdna/internal/match"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+func TestConformanceMode2(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(Config{}) })
+}
+
+func TestConformanceMode1(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(Config{Mode1: true}) })
+}
+
+func TestConformanceFewCandidates(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(Config{MaxCandidates: 2}) })
+}
+
+func TestApproxRepeatsBeatExactOnMutatedDNA(t *testing.T) {
+	// On sequences whose repeats carry point mutations, GenCompress must
+	// compress better than an exact-only parse would: compare against
+	// forcing zero edit budget.
+	p := synth.Profile{Length: 60000, GC: 0.4, RepeatProb: 0.03, RepeatMin: 40, RepeatMax: 600, RCFraction: 0, MutationRate: 0.02}
+	src := p.Generate(77)
+	full := New(Config{})
+	exactOnly := match.DefaultApproxConfig()
+	exactOnly.MaxOps = 1 // descriptor overhead makes 0 unrepresentable; 1 op ~ exact-ish
+	noEdit := New(Config{Approx: exactOnly})
+	withOut, _, err := full.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutOut, _, err := noEdit.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withOut) >= len(withoutOut) {
+		t.Fatalf("edit ops gained nothing: %d vs %d bytes", len(withOut), len(withoutOut))
+	}
+}
+
+func TestMutatedCopyCompressesNearReference(t *testing.T) {
+	// The 99.9 % intra-species case: second half = first half with 0.1 %
+	// substitutions. GenCompress should encode the second half at a tiny
+	// fraction of 2 bits/base.
+	p := synth.Profile{Length: 40000, GC: 0.45}
+	first := p.Generate(5)
+	second := append([]byte{}, first...)
+	rng := rand.New(rand.NewSource(6))
+	for i := range second {
+		if rng.Float64() < 0.001 {
+			second[i] = (second[i] + byte(1+rng.Intn(3))) & 3
+		}
+	}
+	full := append(append([]byte{}, first...), second...)
+	c := New(Config{})
+	wholeOut, _, err := c.Compress(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halfOut, _, err := c.Compress(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling the input with a near-identical copy should cost < 15 % more.
+	if float64(len(wholeOut)) > 1.15*float64(len(halfOut)) {
+		t.Fatalf("mutated copy not exploited: %d vs %d bytes", len(wholeOut), len(halfOut))
+	}
+}
+
+func TestCompressionSlowerThanDecompression(t *testing.T) {
+	// The paper's defining GenCompress trait: the candidate×extension search
+	// makes compression far more expensive than the edit-script replay.
+	p := synth.Profile{Length: 50000, GC: 0.4, RepeatProb: 0.02, RepeatMin: 20, RepeatMax: 400, MutationRate: 0.015}
+	src := p.Generate(8)
+	c := New(Config{})
+	data, cst, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dst, err := c.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.WorkNS < 3*dst.WorkNS {
+		t.Fatalf("compress work %d not >= 3x decompress work %d", cst.WorkNS, dst.WorkNS)
+	}
+}
+
+func TestMoreCandidatesNeverWorseRatio(t *testing.T) {
+	p := synth.Profile{Length: 30000, GC: 0.4, RepeatProb: 0.025, RepeatMin: 25, RepeatMax: 500, MutationRate: 0.02}
+	src := p.Generate(12)
+	small, _, err := New(Config{MaxCandidates: 1}).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, _, err := New(Config{MaxCandidates: 48}).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wider search may only help (first-anchor parse is a subset).
+	if len(large) > len(small)+len(small)/50 {
+		t.Fatalf("wider search hurt ratio: %d vs %d", len(large), len(small))
+	}
+}
+
+func TestRejectsInvalidSymbol(t *testing.T) {
+	if _, _, err := New(Config{}).Compress([]byte{0, 5}); err == nil {
+		t.Fatal("accepted invalid symbol")
+	}
+}
+
+func TestRejectsEmptyStream(t *testing.T) {
+	if _, _, err := New(Config{}).Decompress(nil); err == nil {
+		t.Fatal("accepted empty stream")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	p := synth.Profile{Length: 1 << 17, GC: 0.4, RepeatProb: 0.015, RepeatMin: 20, RepeatMax: 400, MutationRate: 0.01}
+	src := p.Generate(1)
+	c := New(Config{})
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	p := synth.Profile{Length: 1 << 17, GC: 0.4, RepeatProb: 0.015, RepeatMin: 20, RepeatMax: 400, MutationRate: 0.01}
+	src := p.Generate(1)
+	c := New(Config{})
+	data, _, err := c.Compress(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Decompress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

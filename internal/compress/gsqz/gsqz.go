@@ -1,0 +1,220 @@
+// Package gsqz implements a G-SQZ style compressor (Tembe, Lowey & Suh,
+// Bioinformatics 2010 — the paper's §III.B vertical-mode survey: "uses
+// Huffman-coding to compress data without altering the sequence"). G-SQZ's
+// insight is that in FASTQ reads the base and its quality score are
+// correlated, so it Huffman-codes the *joint* (base, quality) symbol —
+// beating separate streams without reordering anything.
+//
+// Container layout (per batch of records):
+//
+//	uvarint recordCount
+//	per record: uvarint idLen, id bytes, uvarint readLen
+//	256-entry code-length table (one byte each) for the joint alphabet
+//	uvarint payloadBitCount, then the Huffman bitstream of all reads
+//
+// The joint symbol packs the 2-bit base with the quality class; qualities
+// are mapped through a dense dictionary built from the batch (at most 64
+// distinct quality characters, the Phred+33 range).
+package gsqz
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/srl-nuces/ctxdna/internal/bitio"
+	"github.com/srl-nuces/ctxdna/internal/huffman"
+	"github.com/srl-nuces/ctxdna/internal/seq"
+)
+
+// maxQualityClasses bounds the quality dictionary: 2 bits of base × 64
+// quality classes fills the byte-sized joint alphabet.
+const maxQualityClasses = 64
+
+// Compress encodes a batch of FASTQ records.
+func Compress(recs []seq.FASTQRecord) ([]byte, error) {
+	// Build the quality dictionary and joint frequency table.
+	var qualToClass [256]int
+	for i := range qualToClass {
+		qualToClass[i] = -1
+	}
+	var classToQual []byte
+	var freqs [256]int64
+	jointOf := func(base byte, qual byte) (byte, error) {
+		code, err := seq.Code(base)
+		if err != nil {
+			return 0, err
+		}
+		cls := qualToClass[qual]
+		if cls < 0 {
+			if len(classToQual) >= maxQualityClasses {
+				return 0, fmt.Errorf("gsqz: more than %d distinct quality characters", maxQualityClasses)
+			}
+			cls = len(classToQual)
+			qualToClass[qual] = cls
+			classToQual = append(classToQual, qual)
+		}
+		return byte(cls)<<2 | code, nil
+	}
+	type encRec struct {
+		joint []byte
+	}
+	encoded := make([]encRec, len(recs))
+	for ri, rec := range recs {
+		if err := rec.Validate(); err != nil {
+			return nil, err
+		}
+		joint := make([]byte, len(rec.Seq))
+		for i := range rec.Seq {
+			j, err := jointOf(rec.Seq[i], rec.Qual[i])
+			if err != nil {
+				return nil, fmt.Errorf("gsqz: record %q: %w", rec.ID, err)
+			}
+			joint[i] = j
+			freqs[j]++
+		}
+		encoded[ri].joint = joint
+	}
+
+	out := bitio.NewWriter(64)
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		out.WriteBytes(scratch[:n])
+	}
+	writeUvarint(uint64(len(recs)))
+	for _, rec := range recs {
+		writeUvarint(uint64(len(rec.ID)))
+		out.WriteBytes([]byte(rec.ID))
+		writeUvarint(uint64(len(rec.Seq)))
+	}
+	// Quality dictionary.
+	writeUvarint(uint64(len(classToQual)))
+	out.WriteBytes(classToQual)
+
+	if len(classToQual) == 0 { // no bases at all
+		return out.Bytes(), nil
+	}
+	table, err := huffman.Build(&freqs)
+	if err != nil {
+		return nil, fmt.Errorf("gsqz: %w", err)
+	}
+	lens := table.Lengths()
+	out.WriteBytes(lens[:])
+	var payloadBits uint64
+	for _, er := range encoded {
+		for _, j := range er.joint {
+			payloadBits += uint64(table.CodeOf(j).Len)
+		}
+	}
+	writeUvarint(payloadBits)
+	for _, er := range encoded {
+		for _, j := range er.joint {
+			if err := table.Encode(out, j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out.Bytes(), nil
+}
+
+// Decompress restores the record batch.
+func Decompress(data []byte) ([]seq.FASTQRecord, error) {
+	r := bitio.NewReader(data)
+	readUvarint := func() (uint64, error) {
+		return binary.ReadUvarint(byteReader{r})
+	}
+	nRecs, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("gsqz: record count: %w", err)
+	}
+	if nRecs > 1<<30 {
+		return nil, fmt.Errorf("gsqz: implausible record count %d", nRecs)
+	}
+	recs := make([]seq.FASTQRecord, nRecs)
+	var totalBases uint64
+	for i := range recs {
+		idLen, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("gsqz: id length: %w", err)
+		}
+		if idLen > 1<<20 {
+			return nil, fmt.Errorf("gsqz: implausible id length %d", idLen)
+		}
+		id := make([]byte, idLen)
+		for j := range id {
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("gsqz: id bytes: %w", err)
+			}
+			id[j] = b
+		}
+		recs[i].ID = string(id)
+		readLen, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("gsqz: read length: %w", err)
+		}
+		if readLen > 1<<28 {
+			return nil, fmt.Errorf("gsqz: implausible read length %d", readLen)
+		}
+		recs[i].Seq = make([]byte, readLen)
+		recs[i].Qual = make([]byte, readLen)
+		totalBases += readLen
+	}
+	nClasses, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("gsqz: class count: %w", err)
+	}
+	if nClasses > maxQualityClasses {
+		return nil, fmt.Errorf("gsqz: %d quality classes exceeds %d", nClasses, maxQualityClasses)
+	}
+	classToQual := make([]byte, nClasses)
+	for i := range classToQual {
+		b, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("gsqz: quality dictionary: %w", err)
+		}
+		classToQual[i] = b
+	}
+	if nClasses == 0 {
+		if totalBases != 0 {
+			return nil, fmt.Errorf("gsqz: %d bases but empty quality dictionary", totalBases)
+		}
+		return recs, nil
+	}
+	var lens [256]uint8
+	for i := range lens {
+		b, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("gsqz: length table: %w", err)
+		}
+		lens[i] = b
+	}
+	table, err := huffman.FromLengths(&lens)
+	if err != nil {
+		return nil, fmt.Errorf("gsqz: %w", err)
+	}
+	if _, err := readUvarint(); err != nil { // payload bit count (framing aid)
+		return nil, fmt.Errorf("gsqz: payload size: %w", err)
+	}
+	dec := huffman.NewDecoder(table)
+	for i := range recs {
+		for j := range recs[i].Seq {
+			joint, err := dec.Decode(r)
+			if err != nil {
+				return nil, fmt.Errorf("gsqz: payload: %w", err)
+			}
+			cls := int(joint >> 2)
+			if cls >= len(classToQual) {
+				return nil, fmt.Errorf("gsqz: joint symbol references class %d of %d", cls, len(classToQual))
+			}
+			recs[i].Seq[j] = seq.Base(joint & 3)
+			recs[i].Qual[j] = classToQual[cls]
+		}
+	}
+	return recs, nil
+}
+
+// byteReader adapts bitio.Reader to io.ByteReader for binary.ReadUvarint.
+type byteReader struct{ r *bitio.Reader }
+
+func (b byteReader) ReadByte() (byte, error) { return b.r.ReadByte() }

@@ -1,0 +1,169 @@
+package gsqz
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/seq"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+// makeReads synthesizes FASTQ reads with base-correlated qualities: high
+// qualities dominate, and qualities dip in runs — the structure G-SQZ's
+// joint coding exploits.
+func makeReads(t testing.TB, n, readLen int, seed int64) []seq.FASTQRecord {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := synth.Profile{Length: n * readLen, GC: 0.45, LocalOrder: 2, LocalBias: 0.5}
+	bases := seq.Decode(p.Generate(seed))
+	quals := "!#(+2;FIII" // low..high Phred characters
+	recs := make([]seq.FASTQRecord, n)
+	for i := range recs {
+		read := bases[i*readLen : (i+1)*readLen]
+		q := make([]byte, readLen)
+		level := 9
+		for j := range q {
+			if rng.Float64() < 0.05 {
+				level = rng.Intn(10)
+			}
+			if level < 9 && rng.Float64() < 0.5 {
+				level++
+			}
+			q[j] = quals[level]
+		}
+		recs[i] = seq.FASTQRecord{ID: fmt.Sprintf("read-%d", i), Seq: read, Qual: q}
+	}
+	return recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	recs := makeReads(t, 200, 100, 1)
+	data, err := Compress(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("got %d records", len(back))
+	}
+	for i := range recs {
+		if back[i].ID != recs[i].ID ||
+			!bytes.Equal(back[i].Seq, recs[i].Seq) ||
+			!bytes.Equal(back[i].Qual, recs[i].Qual) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestJointCodingBeatsRawFASTQ(t *testing.T) {
+	recs := makeReads(t, 500, 100, 2)
+	data, err := Compress(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw bytes.Buffer
+	if err := seq.WriteFASTQ(&raw, recs); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("gsqz %d bytes vs raw FASTQ %d bytes (%.2fx)", len(data), raw.Len(), float64(raw.Len())/float64(len(data)))
+	if len(data)*2 >= raw.Len() {
+		t.Fatalf("gsqz should at least halve raw FASTQ: %d vs %d", len(data), raw.Len())
+	}
+}
+
+func TestEmptyBatchAndEmptyReads(t *testing.T) {
+	for _, recs := range [][]seq.FASTQRecord{
+		nil,
+		{},
+		{{ID: "empty"}},
+		{{ID: "a"}, {ID: "b"}},
+	} {
+		data, err := Compress(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decompress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("got %d records, want %d", len(back), len(recs))
+		}
+	}
+}
+
+func TestRejectsBadRecords(t *testing.T) {
+	if _, err := Compress([]seq.FASTQRecord{{ID: "x", Seq: []byte("ACGT"), Qual: []byte("II")}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Compress([]seq.FASTQRecord{{ID: "x", Seq: []byte("ACGN"), Qual: []byte("IIII")}}); err == nil {
+		t.Error("non-ACGT base accepted")
+	}
+}
+
+func TestRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		bytes.Repeat([]byte{0x41}, 50),
+	} {
+		if _, err := Decompress(data); err == nil {
+			t.Errorf("garbage %v accepted", data[:min(8, len(data))])
+		}
+	}
+}
+
+func TestFASTQFileRoundTrip(t *testing.T) {
+	recs := makeReads(t, 20, 50, 3)
+	var buf bytes.Buffer
+	if err := seq.WriteFASTQ(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := seq.ReadFASTQ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(recs) {
+		t.Fatalf("parsed %d records", len(parsed))
+	}
+	for i := range recs {
+		if parsed[i].ID != recs[i].ID || !bytes.Equal(parsed[i].Seq, recs[i].Seq) || !bytes.Equal(parsed[i].Qual, recs[i].Qual) {
+			t.Fatalf("record %d corrupted by FASTQ round trip", i)
+		}
+	}
+	// Compressing the parsed records must equal compressing the originals.
+	a, err := Compress(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compress(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("compression not deterministic across FASTQ round trip")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkCompress(b *testing.B) {
+	recs := makeReads(b, 1000, 100, 4)
+	b.SetBytes(int64(1000 * 100 * 2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package gzipx
+
+import (
+	"compress/gzip"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/compress/compresstest"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+func TestConformance(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return Codec{Level: gzip.DefaultCompression} })
+}
+
+func TestConformanceBestSpeed(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return Codec{Level: gzip.BestSpeed} })
+}
+
+func TestRatioFloorAboveTwoBits(t *testing.T) {
+	// The paper's key observation: gzip on DNA text cannot beat the
+	// DNA-specific codecs — a Huffman code over 4 roughly equiprobable
+	// letters floors near 2 bits/base and LZ77's window misses distant
+	// repeats. On iid DNA gzip must stay ABOVE 2 bits/base.
+	p := synth.Profile{Name: "iid", Length: 100000, GC: 0.5}
+	src := p.Generate(11)
+	data, _, err := Codec{Level: gzip.DefaultCompression}.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bpb := compress.Ratio(len(src), len(data)); bpb < 2.0 {
+		t.Fatalf("gzip rate %.3f bits/base on iid DNA — below the 2-bit floor, conversion must be wrong", bpb)
+	}
+}
+
+func TestNearRepeatsHelpGzipOnlyWithinWindow(t *testing.T) {
+	// Repeats within 32 KB are caught by LZ77; a copy placed 200 KB away is
+	// invisible. Compare two files of identical content volume.
+	base := synth.Profile{Length: 20000, GC: 0.45}.Generate(3)
+	spacerP := synth.Profile{Length: 200000, GC: 0.45}
+	far := append(append(append([]byte{}, base...), spacerP.Generate(4)...), base...)
+	near := append(append([]byte{}, base...), base...)
+
+	c := Codec{Level: gzip.DefaultCompression}
+	nearOut, _, err := c.Compress(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearRate := compress.Ratio(len(near), len(nearOut))
+	farOut, _, err := c.Compress(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farRate := compress.Ratio(len(far), len(farOut))
+	if nearRate > 1.6 {
+		t.Fatalf("adjacent duplicate should compress well, got %.3f bits/base", nearRate)
+	}
+	if farRate < 2.0 {
+		t.Fatalf("distant duplicate should be invisible to gzip, got %.3f bits/base", farRate)
+	}
+}
+
+func TestDecompressRejectsNonDNA(t *testing.T) {
+	// A gzip stream of non-ACGT text must fail cleanly.
+	var c Codec
+	payload := []byte{
+		0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 0xff,
+	}
+	if _, _, err := c.Decompress(payload); err == nil {
+		t.Fatal("accepted truncated gzip stream")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	p := synth.Profile{Length: 50000, GC: 0.4}
+	src := p.Generate(5)
+	data, cst, err := Codec{}.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.WorkNS <= 0 || cst.PeakMem <= 0 {
+		t.Fatalf("bad stats %+v", cst)
+	}
+	_, dst, err := Codec{}.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.WorkNS <= 0 || dst.WorkNS >= cst.WorkNS {
+		t.Fatalf("inflate work %d should be far below deflate work %d", dst.WorkNS, cst.WorkNS)
+	}
+}
+
+func BenchmarkGzipCompress(b *testing.B) {
+	p := synth.Profile{Length: 1 << 20, GC: 0.4, RepeatProb: 0.015, RepeatMin: 20, RepeatMax: 400, MutationRate: 0.01}
+	src := p.Generate(1)
+	c := Codec{Level: gzip.DefaultCompression}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

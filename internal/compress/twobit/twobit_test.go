@@ -1,0 +1,54 @@
+package twobit
+
+import (
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/compress/compresstest"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+func TestConformance(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return Codec{} })
+}
+
+func TestExactTwoBitsPerBase(t *testing.T) {
+	p := synth.Profile{Length: 10000, GC: 0.5}
+	src := p.Generate(1)
+	data, _, err := Codec{}.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header (varint of 10000 = 2 bytes) + 2500 payload bytes
+	if len(data) != 2+2500 {
+		t.Fatalf("compressed to %d bytes, want 2502", len(data))
+	}
+	if bpb := compress.Ratio(len(src), len(data)); bpb < 2.0 || bpb > 2.01 {
+		t.Fatalf("rate %.4f bits/base, want ~2.0", bpb)
+	}
+}
+
+func TestRejectsInvalidSymbols(t *testing.T) {
+	if _, _, err := (Codec{}).Compress([]byte{0, 1, 2, 7}); err == nil {
+		t.Fatal("accepted invalid symbol")
+	}
+}
+
+func TestRejectsOverstatedLength(t *testing.T) {
+	// Header claims more bases than the payload can hold.
+	if _, _, err := (Codec{}).Decompress([]byte{200, 200, 200, 1}); err == nil {
+		t.Fatal("accepted overstated length")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	p := synth.Profile{Length: 1 << 20, GC: 0.5}
+	src := p.Generate(1)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := (Codec{}).Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package xm
+
+import (
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/compress/compresstest"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+
+	_ "github.com/srl-nuces/ctxdna/internal/compress/ctw"
+)
+
+func TestConformance(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(Config{}) })
+}
+
+func TestConformanceSingleExpert(t *testing.T) {
+	compresstest.Conformance(t, func() compress.Codec { return New(Config{Orders: []int{2}}) })
+}
+
+func TestRatioCompetitiveWithBestOnCorpus(t *testing.T) {
+	// XM's claim to fame is ratio: on a mutated-repeat corpus it should be
+	// in the same band as GenCompress and clearly ahead of CTW alone.
+	p := synth.Profile{Length: 100000, GC: 0.4, RepeatProb: 0.0015, RepeatMin: 20, RepeatMax: 400,
+		RCFraction: 0.2, MutationRate: 0.035, LocalOrder: 3, LocalBias: 0.85}
+	src := p.Generate(2015)
+
+	xmOut, _, err := New(Config{}).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmBPB := compress.Ratio(len(src), len(xmOut))
+
+	ctwC, err := compress.New("ctw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctwOut, _, err := ctwC.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctwBPB := compress.Ratio(len(src), len(ctwOut))
+	t.Logf("xm %.3f bits/base vs ctw %.3f", xmBPB, ctwBPB)
+	if xmBPB >= ctwBPB {
+		t.Errorf("xm (%.3f) should beat plain CTW (%.3f) via its copy expert", xmBPB, ctwBPB)
+	}
+	if xmBPB > 1.9 {
+		t.Errorf("xm %.3f bits/base too weak for an expert-model coder", xmBPB)
+	}
+}
+
+func TestCopyExpertExploitsLongRepeat(t *testing.T) {
+	// A sequence that is A then A again: the copy expert must drive the
+	// second half to far under 2 bits/base.
+	p := synth.Profile{Length: 25000, GC: 0.45, LocalOrder: 2, LocalBias: 0.5}
+	half := p.Generate(9)
+	full := append(append([]byte{}, half...), half...)
+	c := New(Config{})
+	fullOut, _, err := c.Compress(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halfOut, _, err := c.Compress(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(fullOut)) > 1.25*float64(len(halfOut)) {
+		t.Fatalf("copy expert failed: full %d bytes vs half %d", len(fullOut), len(halfOut))
+	}
+}
+
+func TestWorkSymmetric(t *testing.T) {
+	// Like CTW, XM must redo the full mixture on decode.
+	p := synth.Profile{Length: 20000, GC: 0.4, RepeatProb: 0.002, RepeatMin: 20, RepeatMax: 200}
+	src := p.Generate(3)
+	c := New(Config{})
+	data, cst, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dst, err := c.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.WorkNS != dst.WorkNS {
+		t.Fatalf("work asymmetry: %d vs %d", cst.WorkNS, dst.WorkNS)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Orders: []int{11}},
+		{Orders: []int{-1}},
+		{AnchorK: 2},
+		{AnchorK: 16},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestRejectsInvalidSymbol(t *testing.T) {
+	if _, _, err := New(Config{}).Compress([]byte{0, 4}); err == nil {
+		t.Fatal("accepted invalid symbol")
+	}
+}
+
+func TestRejectsEmptyStream(t *testing.T) {
+	if _, _, err := New(Config{}).Decompress(nil); err == nil {
+		t.Fatal("accepted empty stream")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	p := synth.Profile{Length: 1 << 17, GC: 0.4, RepeatProb: 0.0015, RepeatMin: 20, RepeatMax: 400, MutationRate: 0.03, LocalOrder: 3, LocalBias: 0.8}
+	src := p.Generate(1)
+	c := New(Config{})
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

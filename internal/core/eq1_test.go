@@ -1,0 +1,58 @@
+package core
+
+import "testing"
+
+func TestLabelNormalizedBalancesScales(t *testing.T) {
+	// Codec "fast" wins on time; codec "lean" wins on RAM. Raw Eq. 1 with a
+	// 50:50 weight collapses to the RAM ordering (KB >> ms); the normalized
+	// variant must actually trade the two off.
+	ms := []Measurement{
+		{Codec: "fast", CompressMS: 10, DecompressMS: 10, UploadMS: 10, DownloadMS: 10, RAMBytes: 100 << 20},
+		{Codec: "lean", CompressMS: 4000, DecompressMS: 4000, UploadMS: 4000, DownloadMS: 4000, RAMBytes: 80 << 20},
+	}
+	w := RAMTimeWeights(0.5, 0.5)
+	raw, err := Label(ms, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != "lean" {
+		t.Fatalf("raw Eq.1 should collapse to RAM ordering, got %q", raw)
+	}
+	norm, err := LabelNormalized(ms, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalized: fast is 0.0 on time and 1.0 on RAM (0.5 total); lean is
+	// 1.0 on time and 0.0 on RAM (2.0 time terms weighted) — fast wins.
+	if norm != "fast" {
+		t.Fatalf("normalized Eq.1 should let the huge time gap win, got %q", norm)
+	}
+}
+
+func TestLabelNormalizedAgreesOnSingleMetric(t *testing.T) {
+	ms := []Measurement{
+		{Codec: "a", CompressMS: 50, RAMBytes: 1},
+		{Codec: "b", CompressMS: 20, RAMBytes: 1},
+		{Codec: "c", CompressMS: 90, RAMBytes: 1},
+	}
+	raw, _ := Label(ms, CompressTimeOnlyWeights())
+	norm, err := LabelNormalized(ms, CompressTimeOnlyWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != norm || norm != "b" {
+		t.Fatalf("single-metric labels diverge: raw %q norm %q", raw, norm)
+	}
+}
+
+func TestLabelNormalizedDegenerate(t *testing.T) {
+	if _, err := LabelNormalized(nil, TimeOnlyWeights()); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	// All-tied metrics: first codec wins (stable).
+	ms := []Measurement{{Codec: "x", CompressMS: 5}, {Codec: "y", CompressMS: 5}}
+	got, err := LabelNormalized(ms, TimeOnlyWeights())
+	if err != nil || got != "x" {
+		t.Fatalf("tie: got %q, %v", got, err)
+	}
+}

@@ -1,0 +1,150 @@
+package dtree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonTree is the serialized form of a Tree. The format is versioned so a
+// persisted model from cmd/ctxselect keeps loading across releases.
+type jsonTree struct {
+	Version      int       `json:"version"`
+	Method       string    `json:"method"`
+	FeatureNames []string  `json:"features"`
+	ClassNames   []string  `json:"classes"`
+	Root         *jsonNode `json:"root"`
+}
+
+type jsonNode struct {
+	Leaf      bool        `json:"leaf,omitempty"`
+	Class     int         `json:"class"`
+	Counts    []int       `json:"counts,omitempty"`
+	Feature   int         `json:"feature,omitempty"`
+	Threshold float64     `json:"threshold,omitempty"`
+	Cuts      []float64   `json:"cuts,omitempty"`
+	Groups    []int       `json:"groups,omitempty"`
+	Left      *jsonNode   `json:"left,omitempty"`
+	Right     *jsonNode   `json:"right,omitempty"`
+	Children  []*jsonNode `json:"children,omitempty"`
+}
+
+const jsonVersion = 1
+
+func toJSONNode(n *node) *jsonNode {
+	if n == nil {
+		return nil
+	}
+	j := &jsonNode{
+		Leaf:      n.leaf,
+		Class:     n.class,
+		Counts:    n.counts,
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Cuts:      n.cuts,
+		Groups:    n.groups,
+		Left:      toJSONNode(n.left),
+		Right:     toJSONNode(n.right),
+	}
+	for _, c := range n.children {
+		j.Children = append(j.Children, toJSONNode(c))
+	}
+	return j
+}
+
+func fromJSONNode(j *jsonNode, nClasses, nFeatures int) (*node, error) {
+	if j == nil {
+		return nil, nil
+	}
+	if j.Class < 0 || j.Class >= nClasses {
+		return nil, fmt.Errorf("dtree: node class %d outside %d classes", j.Class, nClasses)
+	}
+	n := &node{
+		leaf:      j.Leaf,
+		class:     j.Class,
+		counts:    j.Counts,
+		feature:   j.Feature,
+		threshold: j.Threshold,
+		cuts:      j.Cuts,
+		groups:    j.Groups,
+	}
+	if j.Leaf {
+		return n, nil
+	}
+	if j.Feature < 0 || j.Feature >= nFeatures {
+		return nil, fmt.Errorf("dtree: split feature %d outside %d features", j.Feature, nFeatures)
+	}
+	if len(j.Children) > 0 {
+		if len(j.Groups) != len(j.Cuts)+1 {
+			return nil, fmt.Errorf("dtree: CHAID node has %d groups for %d cuts", len(j.Groups), len(j.Cuts))
+		}
+		for bin, g := range j.Groups {
+			if g < 0 || g >= len(j.Children) {
+				return nil, fmt.Errorf("dtree: bin %d maps to child %d of %d", bin, g, len(j.Children))
+			}
+		}
+		for _, cj := range j.Children {
+			c, err := fromJSONNode(cj, nClasses, nFeatures)
+			if err != nil {
+				return nil, err
+			}
+			if c == nil {
+				return nil, fmt.Errorf("dtree: nil child in CHAID node")
+			}
+			n.children = append(n.children, c)
+		}
+		return n, nil
+	}
+	var err error
+	if n.left, err = fromJSONNode(j.Left, nClasses, nFeatures); err != nil {
+		return nil, err
+	}
+	if n.right, err = fromJSONNode(j.Right, nClasses, nFeatures); err != nil {
+		return nil, err
+	}
+	if n.left == nil || n.right == nil {
+		return nil, fmt.Errorf("dtree: CART split missing a child")
+	}
+	return n, nil
+}
+
+// MarshalJSON serializes the tree.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonTree{
+		Version:      jsonVersion,
+		Method:       t.Method,
+		FeatureNames: t.FeatureNames,
+		ClassNames:   t.ClassNames,
+		Root:         toJSONNode(t.root),
+	})
+}
+
+// UnmarshalJSON restores a tree serialized by MarshalJSON, validating the
+// structure so a corrupted model file fails loudly instead of predicting
+// garbage.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var j jsonTree
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("dtree: %w", err)
+	}
+	if j.Version != jsonVersion {
+		return fmt.Errorf("dtree: model version %d, want %d", j.Version, jsonVersion)
+	}
+	if j.Method != "cart" && j.Method != "chaid" {
+		return fmt.Errorf("dtree: unknown method %q", j.Method)
+	}
+	if len(j.ClassNames) == 0 || len(j.FeatureNames) == 0 {
+		return fmt.Errorf("dtree: model missing classes or features")
+	}
+	if j.Root == nil {
+		return fmt.Errorf("dtree: model missing root")
+	}
+	root, err := fromJSONNode(j.Root, len(j.ClassNames), len(j.FeatureNames))
+	if err != nil {
+		return err
+	}
+	t.Method = j.Method
+	t.FeatureNames = j.FeatureNames
+	t.ClassNames = j.ClassNames
+	t.root = root
+	return nil
+}

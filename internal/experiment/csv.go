@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/srl-nuces/ctxdna/internal/cloud"
+	"github.com/srl-nuces/ctxdna/internal/core"
+)
+
+// csvHeader is the stable column layout of a grid export: one record per
+// (file, context, codec) measurement.
+var csvHeader = []string{
+	"file", "bases", "vm", "ram_mb", "cpu_mhz", "bw_mbps",
+	"codec", "compress_ms", "decompress_ms", "upload_ms", "download_ms",
+	"ram_bytes", "compressed_bytes",
+}
+
+// WriteCSV serializes the grid.
+func (g *Grid) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, row := range g.Rows {
+		for _, m := range row.Measurements {
+			rec := []string{
+				row.FileName,
+				strconv.Itoa(row.FileBases),
+				row.VM.Name,
+				strconv.Itoa(row.VM.RAMMB),
+				strconv.Itoa(row.VM.CPUMHz),
+				strconv.FormatFloat(row.VM.BandwidthMbps, 'g', -1, 64),
+				m.Codec,
+				strconv.FormatFloat(m.CompressMS, 'g', 17, 64),
+				strconv.FormatFloat(m.DecompressMS, 'g', 17, 64),
+				strconv.FormatFloat(m.UploadMS, 'g', 17, 64),
+				strconv.FormatFloat(m.DownloadMS, 'g', 17, 64),
+				strconv.Itoa(m.RAMBytes),
+				strconv.Itoa(m.CompressedBytes),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reconstructs a grid from WriteCSV output. Codec order follows
+// first appearance; file and context order follow first appearance.
+func ReadCSV(r io.Reader) (*Grid, error) {
+	cr := csv.NewReader(r)
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: reading CSV header: %w", err)
+	}
+	if len(head) != len(csvHeader) {
+		return nil, fmt.Errorf("experiment: CSV has %d columns, want %d", len(head), len(csvHeader))
+	}
+	for i, h := range csvHeader {
+		if head[i] != h {
+			return nil, fmt.Errorf("experiment: CSV column %d is %q, want %q", i, head[i], h)
+		}
+	}
+	g := &Grid{}
+	type rowKey struct {
+		file string
+		vm   string
+	}
+	rowIdx := map[rowKey]int{}
+	fileIdx := map[string]int{}
+	vmSeen := map[string]bool{}
+	codecSeen := map[string]bool{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiment: CSV line %d: %w", line, err)
+		}
+		bases, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: CSV line %d bases: %w", line, err)
+		}
+		ramMB, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: CSV line %d ram_mb: %w", line, err)
+		}
+		cpu, err := strconv.Atoi(rec[4])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: CSV line %d cpu_mhz: %w", line, err)
+		}
+		bw, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: CSV line %d bw: %w", line, err)
+		}
+		floats := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			floats[i], err = strconv.ParseFloat(rec[7+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: CSV line %d time col %d: %w", line, i, err)
+			}
+		}
+		ramBytes, err := strconv.Atoi(rec[11])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: CSV line %d ram_bytes: %w", line, err)
+		}
+		compBytes, err := strconv.Atoi(rec[12])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: CSV line %d compressed_bytes: %w", line, err)
+		}
+
+		vm := cloud.VM{Name: rec[2], RAMMB: ramMB, CPUMHz: cpu, BandwidthMbps: bw}
+		if _, ok := fileIdx[rec[0]]; !ok {
+			fileIdx[rec[0]] = len(g.Files)
+			g.Files = append(g.Files, FileResult{Name: rec[0], Bases: bases})
+		}
+		if !vmSeen[vm.Name] {
+			vmSeen[vm.Name] = true
+			g.Contexts = append(g.Contexts, vm)
+		}
+		if !codecSeen[rec[6]] {
+			codecSeen[rec[6]] = true
+			g.Codecs = append(g.Codecs, rec[6])
+		}
+		key := rowKey{file: rec[0], vm: vm.Name}
+		ri, ok := rowIdx[key]
+		if !ok {
+			ri = len(g.Rows)
+			rowIdx[key] = ri
+			g.Rows = append(g.Rows, Row{
+				FileIdx:   fileIdx[rec[0]],
+				FileName:  rec[0],
+				FileBases: bases,
+				VM:        vm,
+			})
+		}
+		g.Rows[ri].Measurements = append(g.Rows[ri].Measurements, core.Measurement{
+			Codec:           rec[6],
+			CompressMS:      floats[0],
+			DecompressMS:    floats[1],
+			UploadMS:        floats[2],
+			DownloadMS:      floats[3],
+			RAMBytes:        ramBytes,
+			CompressedBytes: compBytes,
+		})
+	}
+	// Sanity: every row must carry every codec, in grid codec order.
+	for _, row := range g.Rows {
+		if len(row.Measurements) != len(g.Codecs) {
+			return nil, fmt.Errorf("experiment: row %s/%s has %d measurements, want %d",
+				row.FileName, row.VM.Name, len(row.Measurements), len(g.Codecs))
+		}
+		for i, m := range row.Measurements {
+			if m.Codec != g.Codecs[i] {
+				return nil, fmt.Errorf("experiment: row %s/%s codec order %q != %q",
+					row.FileName, row.VM.Name, m.Codec, g.Codecs[i])
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/cloud"
+	"github.com/srl-nuces/ctxdna/internal/core"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	files := synth.ExperimentCorpus(synth.CorpusSpec{NumFiles: 4, MinSize: 2048, MaxSize: 32768, Seed: 5})
+	g, err := Run(files, cloud.Grid()[:6], []string{"dnax", "gzip"}, DefaultNoise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(g.Rows) {
+		t.Fatalf("rows %d, want %d", len(back.Rows), len(g.Rows))
+	}
+	if len(back.Files) != len(g.Files) || len(back.Contexts) != len(g.Contexts) {
+		t.Fatalf("files/contexts %d/%d", len(back.Files), len(back.Contexts))
+	}
+	for i := range g.Rows {
+		a, b := g.Rows[i], back.Rows[i]
+		if a.FileName != b.FileName || a.FileBases != b.FileBases || a.VM != b.VM {
+			t.Fatalf("row %d meta mismatch", i)
+		}
+		for j := range a.Measurements {
+			if a.Measurements[j] != b.Measurements[j] {
+				t.Fatalf("row %d measurement %d mismatch:\n%+v\n%+v", i, j, a.Measurements[j], b.Measurements[j])
+			}
+		}
+	}
+	// Labels must be identical after the round trip.
+	la := g.Labels(core.TimeOnlyWeights())
+	lb := back.Labels(core.TimeOnlyWeights())
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("label %d changed: %s -> %s", i, la[i], lb[i])
+		}
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus,header\n1,2\n",
+		"file,bases,vm,ram_mb,cpu_mhz,bw_mbps,codec,compress_ms,decompress_ms,upload_ms,download_ms,ram_bytes,compressed_bytes\nf,notanumber,vm,1,1,1,c,1,1,1,1,1,1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}

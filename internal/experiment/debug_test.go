@@ -1,0 +1,27 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/cloud"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+// TestDebugStageTimes prints per-codec stage times for a few sizes in one
+// context (temporary calibration aid).
+func TestDebugStageTimes(t *testing.T) {
+	files := synth.ExperimentCorpus(synth.CorpusSpec{NumFiles: 5, MinSize: 16 << 10, MaxSize: 256 << 10, Seed: 7})
+	noise := DefaultNoise()
+	noise.TimeAmp = 0 // exact stage times
+	g, err := Run(files, []cloud.VM{{Name: "mid", RAMMB: 3584, CPUMHz: 1600, BandwidthMbps: 2}}, paperCodecs, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range g.Rows {
+		t.Logf("file %s (%d KB):", row.FileName, row.FileBases/1024)
+		for _, m := range row.Measurements {
+			t.Logf("  %-12s comp=%7.1f dec=%7.1f up=%7.1f down=%6.1f total=%8.1f size=%d",
+				m.Codec, m.CompressMS, m.DecompressMS, m.UploadMS, m.DownloadMS, m.TotalTimeMS(), m.CompressedBytes)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package fib implements Fibonacci (Zeckendorf) universal coding of positive
+// integers. BioCompress-family DNA compressors use Fibonacci codes to encode
+// repeat lengths and positions because the code is self-delimiting, robust,
+// and short for the small integers that dominate repeat descriptors.
+//
+// The code of n >= 1 is the Zeckendorf representation of n written from the
+// smallest Fibonacci number upward, followed by an extra 1 bit. Because a
+// Zeckendorf representation never contains two consecutive 1s, the trailing
+// "11" unambiguously terminates each codeword.
+package fib
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/srl-nuces/ctxdna/internal/bitio"
+)
+
+// ErrValueRange is returned when a value cannot be Fibonacci coded (only
+// strictly positive integers have codes).
+var ErrValueRange = errors.New("fib: value must be >= 1")
+
+// fibs holds Fibonacci numbers F(2)=1, F(3)=2, F(4)=3, ... up to the largest
+// value representable in uint64. 86 terms cover the full uint64 range.
+var fibs = buildFibs()
+
+func buildFibs() []uint64 {
+	fs := make([]uint64, 0, 92)
+	a, b := uint64(1), uint64(2)
+	for {
+		fs = append(fs, a)
+		if b < a { // overflow
+			break
+		}
+		a, b = b, a+b
+	}
+	return fs
+}
+
+// Encode appends the Fibonacci code of v (>= 1) to w.
+func Encode(w *bitio.Writer, v uint64) error {
+	if v == 0 {
+		return ErrValueRange
+	}
+	// Find the largest Fibonacci number <= v.
+	hi := 0
+	for hi+1 < len(fibs) && fibs[hi+1] <= v {
+		hi++
+	}
+	// Greedy Zeckendorf decomposition, recorded high-to-low.
+	word := make([]byte, hi+1)
+	rem := v
+	for i := hi; i >= 0; i-- {
+		if fibs[i] <= rem {
+			word[i] = 1
+			rem -= fibs[i]
+		}
+	}
+	if rem != 0 {
+		return fmt.Errorf("fib: internal decomposition failure for %d", v)
+	}
+	// Emit low-to-high plus the terminating 1.
+	for _, b := range word {
+		w.WriteBit(uint(b))
+	}
+	w.WriteBit(1)
+	return nil
+}
+
+// Decode reads one Fibonacci codeword from r and returns its value.
+func Decode(r *bitio.Reader) (uint64, error) {
+	var (
+		v    uint64
+		prev uint
+		i    int
+	)
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 && prev == 1 {
+			return v, nil // terminating "11"
+		}
+		if i >= len(fibs) {
+			return 0, fmt.Errorf("fib: codeword exceeds uint64 range")
+		}
+		if b == 1 {
+			nv := v + fibs[i]
+			if nv < v {
+				return 0, fmt.Errorf("fib: codeword overflows uint64")
+			}
+			v = nv
+		}
+		prev = b
+		i++
+	}
+}
+
+// Len returns the length in bits of the Fibonacci code of v, or 0 if v == 0.
+func Len(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	hi := 0
+	for hi+1 < len(fibs) && fibs[hi+1] <= v {
+		hi++
+	}
+	return hi + 2 // hi+1 representation bits plus the terminator
+}

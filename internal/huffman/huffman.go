@@ -1,0 +1,245 @@
+// Package huffman implements canonical Huffman coding over a byte alphabet:
+// the classic entropy stage of Gzip's DEFLATE and of G-SQZ, the paper's
+// §III.B reference for "Huffman-coding to compress data without altering
+// the sequence" (Tembe et al., joint base+quality symbols).
+//
+// Code construction is the standard two-queue merge; codes are then
+// canonicalized (ordered by length, then symbol) so the decoder can be
+// rebuilt from code lengths alone — only the length table travels.
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"github.com/srl-nuces/ctxdna/internal/bitio"
+)
+
+// MaxCodeLen bounds code lengths; 32 is far beyond any byte-alphabet need
+// but keeps the decoder tables small and the bit I/O in uint64 range.
+const MaxCodeLen = 32
+
+// Code is one symbol's canonical codeword.
+type Code struct {
+	Bits uint32 // codeword, MSB-aligned to Len
+	Len  uint8  // length in bits; 0 = symbol absent
+}
+
+// Table maps each byte symbol to its codeword.
+type Table struct {
+	codes [256]Code
+}
+
+type hNode struct {
+	freq        int64
+	sym         int // -1 for internal
+	left, right *hNode
+}
+
+type hHeap []*hNode
+
+func (h hHeap) Len() int { return len(h) }
+func (h hHeap) Less(a, b int) bool {
+	if h[a].freq != h[b].freq {
+		return h[a].freq < h[b].freq
+	}
+	return h[a].sym < h[b].sym // deterministic tie-break
+}
+func (h hHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *hHeap) Push(x any)   { *h = append(*h, x.(*hNode)) }
+func (h *hHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Build constructs a canonical code for the given symbol frequencies.
+// Symbols with zero frequency get no code. At least one symbol must have a
+// positive frequency.
+func Build(freqs *[256]int64) (*Table, error) {
+	var h hHeap
+	for s, f := range freqs {
+		if f < 0 {
+			return nil, fmt.Errorf("huffman: negative frequency for symbol %d", s)
+		}
+		if f > 0 {
+			h = append(h, &hNode{freq: f, sym: s})
+		}
+	}
+	if len(h) == 0 {
+		return nil, fmt.Errorf("huffman: no symbols")
+	}
+	if len(h) == 1 {
+		// Degenerate alphabet: give the lone symbol a 1-bit code.
+		t := &Table{}
+		t.codes[h[0].sym] = Code{Bits: 0, Len: 1}
+		return t, nil
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hNode)
+		b := heap.Pop(&h).(*hNode)
+		heap.Push(&h, &hNode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+	}
+	root := h[0]
+	var lens [256]uint8
+	var walk func(n *hNode, depth uint8) error
+	walk = func(n *hNode, depth uint8) error {
+		if n.sym >= 0 {
+			if depth == 0 {
+				depth = 1
+			}
+			if depth > MaxCodeLen {
+				return fmt.Errorf("huffman: code length %d exceeds max %d", depth, MaxCodeLen)
+			}
+			lens[n.sym] = depth
+			return nil
+		}
+		if err := walk(n.left, depth+1); err != nil {
+			return err
+		}
+		return walk(n.right, depth+1)
+	}
+	if err := walk(root, 0); err != nil {
+		return nil, err
+	}
+	return FromLengths(&lens)
+}
+
+// FromLengths builds the canonical table from code lengths (the decoder's
+// entry point: lengths are all that travels in the stream header).
+func FromLengths(lens *[256]uint8) (*Table, error) {
+	type sl struct {
+		sym int
+		l   uint8
+	}
+	var present []sl
+	for s, l := range lens {
+		if l == 0 {
+			continue
+		}
+		if l > MaxCodeLen {
+			return nil, fmt.Errorf("huffman: length %d exceeds max", l)
+		}
+		present = append(present, sl{sym: s, l: l})
+	}
+	if len(present) == 0 {
+		return nil, fmt.Errorf("huffman: empty length table")
+	}
+	sort.Slice(present, func(a, b int) bool {
+		if present[a].l != present[b].l {
+			return present[a].l < present[b].l
+		}
+		return present[a].sym < present[b].sym
+	})
+	// Kraft check and canonical assignment.
+	t := &Table{}
+	code := uint32(0)
+	prevLen := present[0].l
+	for _, e := range present {
+		code <<= e.l - prevLen
+		prevLen = e.l
+		if e.l < 32 && code >= 1<<e.l {
+			return nil, fmt.Errorf("huffman: length table violates Kraft inequality")
+		}
+		t.codes[e.sym] = Code{Bits: code, Len: e.l}
+		code++
+	}
+	return t, nil
+}
+
+// CodeOf returns the symbol's codeword (Len 0 if absent).
+func (t *Table) CodeOf(sym byte) Code { return t.codes[sym] }
+
+// Lengths returns the code-length table for serialization.
+func (t *Table) Lengths() [256]uint8 {
+	var lens [256]uint8
+	for s, c := range t.codes {
+		lens[s] = c.Len
+	}
+	return lens
+}
+
+// Encode writes sym's codeword to w. Encoding an absent symbol is an error.
+func (t *Table) Encode(w *bitio.Writer, sym byte) error {
+	c := t.codes[sym]
+	if c.Len == 0 {
+		return fmt.Errorf("huffman: symbol %d has no code", sym)
+	}
+	w.WriteBits(uint64(c.Bits), uint(c.Len))
+	return nil
+}
+
+// Decoder decodes canonical codewords bit by bit using first-code tables.
+type Decoder struct {
+	// For each length l: firstCode[l] is the smallest code of that length,
+	// and offset[l] indexes into syms where codes of length l start.
+	firstCode [MaxCodeLen + 1]uint32
+	count     [MaxCodeLen + 1]int
+	offset    [MaxCodeLen + 1]int
+	syms      []byte
+	maxLen    uint8
+}
+
+// NewDecoder builds a decoder from the table.
+func NewDecoder(t *Table) *Decoder {
+	d := &Decoder{}
+	for s := 0; s < 256; s++ {
+		if l := t.codes[s].Len; l > 0 {
+			d.count[l]++
+			if l > d.maxLen {
+				d.maxLen = l
+			}
+		}
+	}
+	total := 0
+	for l := 1; l <= int(d.maxLen); l++ {
+		d.offset[l] = total
+		total += d.count[l]
+	}
+	d.syms = make([]byte, total)
+	idx := make([]int, MaxCodeLen+1)
+	// Symbols sorted by (len, sym) — same order as canonical assignment.
+	for s := 0; s < 256; s++ {
+		if l := t.codes[s].Len; l > 0 {
+			d.syms[d.offset[l]+idx[l]] = byte(s)
+			idx[l]++
+		}
+	}
+	code := uint32(0)
+	for l := uint8(1); l <= d.maxLen; l++ {
+		code <<= 1
+		d.firstCode[l] = code
+		code += uint32(d.count[l])
+	}
+	return d
+}
+
+// Decode reads one codeword from r.
+func (d *Decoder) Decode(r *bitio.Reader) (byte, error) {
+	var code uint32
+	for l := uint8(1); l <= d.maxLen; l++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint32(bit)
+		if d.count[l] > 0 && code-d.firstCode[l] < uint32(d.count[l]) {
+			return d.syms[d.offset[l]+int(code-d.firstCode[l])], nil
+		}
+	}
+	return 0, fmt.Errorf("huffman: invalid codeword")
+}
+
+// CostBits returns the encoded size in bits of a frequency vector under the
+// table — used to compare against entropy in tests.
+func (t *Table) CostBits(freqs *[256]int64) int64 {
+	var total int64
+	for s, f := range freqs {
+		total += f * int64(t.codes[s].Len)
+	}
+	return total
+}

@@ -1,0 +1,213 @@
+package huffman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/srl-nuces/ctxdna/internal/bitio"
+)
+
+func freqsOf(data []byte) *[256]int64 {
+	var f [256]int64
+	for _, b := range data {
+		f[b]++
+	}
+	return &f
+}
+
+func roundTrip(t *testing.T, data []byte) int {
+	t.Helper()
+	table, err := Build(freqsOf(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(len(data))
+	for _, b := range data {
+		if err := table.Encode(w, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Decoder rebuilt from lengths only, as in a real stream.
+	lens := table.Lengths()
+	table2, err := FromLengths(&lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(table2)
+	r := bitio.NewReader(w.Bytes())
+	for i, want := range data {
+		got, err := dec.Decode(r)
+		if err != nil {
+			t.Fatalf("symbol %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d: got %d want %d", i, got, want)
+		}
+	}
+	return w.BitLen()
+}
+
+func TestRoundTripText(t *testing.T) {
+	roundTrip(t, []byte("the quick brown fox jumps over the lazy dog and keeps on jumping"))
+}
+
+func TestRoundTripSingleSymbol(t *testing.T) {
+	bits := roundTrip(t, []byte("AAAAAAAAAA"))
+	if bits != 10 {
+		t.Fatalf("lone-symbol alphabet should cost 1 bit/symbol, got %d bits", bits)
+	}
+}
+
+func TestRoundTripTwoSymbols(t *testing.T) {
+	roundTrip(t, []byte("ABABABABBBBAAB"))
+}
+
+func TestRoundTripAllBytes(t *testing.T) {
+	data := make([]byte, 4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	roundTrip(t, data)
+}
+
+func TestNearEntropyOnSkewedSource(t *testing.T) {
+	// Geometric-ish distribution over 16 symbols; Huffman must land within
+	// 6 % of entropy (plus its 1-bit-per-symbol granularity floor).
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 200000)
+	for i := range data {
+		s := 0
+		for s < 15 && rng.Float64() < 0.5 {
+			s++
+		}
+		data[i] = byte(s)
+	}
+	f := freqsOf(data)
+	var entropyBits float64
+	for _, c := range f {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(len(data))
+		entropyBits -= float64(c) * math.Log2(p)
+	}
+	table, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := float64(table.CostBits(f))
+	t.Logf("entropy %.0f bits, huffman %.0f bits (%.3f%% excess)", entropyBits, cost, 100*(cost/entropyBits-1))
+	if cost < entropyBits {
+		t.Fatal("Huffman below entropy — broken accounting")
+	}
+	if cost > entropyBits*1.06 {
+		t.Fatalf("Huffman %.1f%% above entropy", 100*(cost/entropyBits-1))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	var empty [256]int64
+	if _, err := Build(&empty); err == nil {
+		t.Error("empty frequency table accepted")
+	}
+	var neg [256]int64
+	neg[5] = -1
+	if _, err := Build(&neg); err == nil {
+		t.Error("negative frequency accepted")
+	}
+}
+
+func TestFromLengthsValidation(t *testing.T) {
+	var empty [256]uint8
+	if _, err := FromLengths(&empty); err == nil {
+		t.Error("empty length table accepted")
+	}
+	var tooLong [256]uint8
+	tooLong[0] = MaxCodeLen + 1
+	if _, err := FromLengths(&tooLong); err == nil {
+		t.Error("over-long code accepted")
+	}
+	// Kraft violation: three 1-bit codes.
+	var kraft [256]uint8
+	kraft[0], kraft[1], kraft[2] = 1, 1, 1
+	if _, err := FromLengths(&kraft); err == nil {
+		t.Error("Kraft violation accepted")
+	}
+}
+
+func TestEncodeAbsentSymbol(t *testing.T) {
+	table, err := Build(freqsOf([]byte("AB")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(4)
+	if err := table.Encode(w, 'Z'); err == nil {
+		t.Fatal("absent symbol encoded")
+	}
+}
+
+func TestDecoderRejectsGarbage(t *testing.T) {
+	table, err := Build(freqsOf([]byte("AAB")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(table)
+	// An empty stream must error, not loop.
+	r := bitio.NewReader(nil)
+	if _, err := dec.Decode(r); err == nil {
+		t.Fatal("decode from empty stream succeeded")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		table, err := Build(freqsOf(data))
+		if err != nil {
+			return false
+		}
+		w := bitio.NewWriter(len(data))
+		for _, b := range data {
+			if err := table.Encode(w, b); err != nil {
+				return false
+			}
+		}
+		dec := NewDecoder(table)
+		r := bitio.NewReader(w.Bytes())
+		for _, want := range data {
+			got, err := dec.Decode(r)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 1<<16)
+	for i := range data {
+		data[i] = byte(rng.Intn(64))
+	}
+	table, err := Build(freqsOf(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := bitio.NewWriter(len(data))
+		for _, s := range data {
+			table.Encode(w, s)
+		}
+	}
+}

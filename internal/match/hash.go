@@ -1,0 +1,307 @@
+// Package match implements repeat discovery over nucleotide sequences: a
+// hash-chain matcher for exact direct and reverse-complement repeats (the
+// machinery behind DNAX and BioCompress), a suffix automaton used both as a
+// verification oracle and for repeat statistics, and greedy approximate
+// extension with edit operations (the machinery behind GenCompress).
+//
+// All functions operate on symbol-coded sequences (values 0..3, see package
+// seq).
+package match
+
+import "fmt"
+
+// Default parameters for the hash matcher. K is the anchor k-mer length: a
+// repeat shorter than K is invisible to the matcher, which is fine because
+// repeats below ~12 bases cost more to describe than to code literally.
+const (
+	DefaultK        = 12
+	DefaultMaxChain = 64
+	tableBits       = 18
+)
+
+// Match describes a repeat found at a target position.
+type Match struct {
+	Src int  // start of the source block in forward coordinates
+	Len int  // match length in bases
+	RC  bool // true if the target equals the reverse complement of the source
+}
+
+// Stats counts the work the matcher performed; the deterministic cost model
+// converts these into simulated milliseconds.
+type Stats struct {
+	Probes  int // chain entries examined
+	Extends int // base comparisons during extension
+}
+
+// HashMatcher finds the longest exact (direct or reverse-complement) repeat
+// of the text beginning at a query position, with the source constrained to
+// the already-processed prefix. Positions are indexed incrementally via
+// Advance so that the matcher never "sees the future", mirroring a one-pass
+// compressor.
+type HashMatcher struct {
+	data     []byte
+	k        int
+	stride   int
+	maxChain int
+	indexed  int // next k-mer start position to consider for insertion
+	head     []int32
+	prev     []int32
+	stats    Stats
+}
+
+// Option configures a HashMatcher.
+type Option func(*HashMatcher)
+
+// WithK sets the anchor k-mer length (4..16).
+func WithK(k int) Option {
+	return func(m *HashMatcher) { m.k = k }
+}
+
+// WithMaxChain bounds how many chain candidates are examined per query.
+func WithMaxChain(n int) Option {
+	return func(m *HashMatcher) { m.maxChain = n }
+}
+
+// WithStride indexes only every stride-th source position, emulating
+// fingerprint compressors (DNAX's B-block scheme) that anchor repeats on
+// block-aligned positions only. Queries still run at every target position,
+// so a repeat is found iff it covers an aligned anchor — shorter repeats are
+// increasingly invisible as stride grows. Stride 1 (the default) indexes
+// everything.
+func WithStride(s int) Option {
+	return func(m *HashMatcher) { m.stride = s }
+}
+
+// NewHashMatcher creates a matcher over data (symbol codes 0..3). The
+// matcher holds a reference to data; the caller must not mutate it.
+func NewHashMatcher(data []byte, opts ...Option) *HashMatcher {
+	m := &HashMatcher{
+		data:     data,
+		k:        DefaultK,
+		stride:   1,
+		maxChain: DefaultMaxChain,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.k < 4 || m.k > 16 {
+		panic(fmt.Sprintf("match: k=%d outside [4,16]", m.k))
+	}
+	if m.stride < 1 {
+		m.stride = 1
+	}
+	if m.maxChain < 1 {
+		m.maxChain = 1
+	}
+	m.head = make([]int32, 1<<tableBits)
+	for i := range m.head {
+		m.head[i] = -1
+	}
+	n := len(data) - m.k + 1
+	if n < 0 {
+		n = 0
+	}
+	m.prev = make([]int32, n)
+	return m
+}
+
+// K reports the anchor length.
+func (m *HashMatcher) K() int { return m.k }
+
+// Stats returns the accumulated work counters.
+func (m *HashMatcher) Stats() Stats { return m.stats }
+
+// MemoryFootprint approximates the matcher's table memory in bytes.
+func (m *HashMatcher) MemoryFootprint() int {
+	return len(m.head)*4 + len(m.prev)*4
+}
+
+// packAt packs the k-mer starting at i into an integer (2 bits per base,
+// first base most significant).
+func (m *HashMatcher) packAt(i int) uint32 {
+	var v uint32
+	for j := 0; j < m.k; j++ {
+		v = v<<2 | uint32(m.data[i+j]&3)
+	}
+	return v
+}
+
+// packRCAt packs the reverse complement of the k-mer starting at i.
+func (m *HashMatcher) packRCAt(i int) uint32 {
+	var v uint32
+	for j := m.k - 1; j >= 0; j-- {
+		v = v<<2 | uint32(3-(m.data[i+j]&3))
+	}
+	return v
+}
+
+func hashKmer(v uint32) uint32 {
+	// Multiplicative hashing; 2654435761 is the golden-ratio constant.
+	return (v * 2654435761) >> (32 - tableBits)
+}
+
+// Advance indexes k-mer start positions up to (but excluding) pos. Calling
+// it repeatedly with increasing pos keeps the index covering exactly the
+// processed prefix.
+func (m *HashMatcher) Advance(pos int) {
+	limit := pos
+	if max := len(m.data) - m.k + 1; limit > max {
+		limit = max
+	}
+	for ; m.indexed < limit; m.indexed++ {
+		if m.indexed%m.stride != 0 {
+			continue
+		}
+		h := hashKmer(hashInput(m.packAt(m.indexed)))
+		m.prev[m.indexed] = m.head[h]
+		m.head[h] = int32(m.indexed)
+	}
+}
+
+// hashInput allows identity pre-mixing; kept separate so tests can reason
+// about bucket placement.
+func hashInput(v uint32) uint32 { return v }
+
+// FindForward returns the longest direct match for the text starting at i
+// whose source starts strictly before i (overlapping copies allowed, as a
+// sequential decoder reproduces them byte by byte). ok is false when no
+// anchor of length k matches.
+func (m *HashMatcher) FindForward(i int) (best Match, ok bool) {
+	if i+m.k > len(m.data) {
+		return Match{}, false
+	}
+	key := m.packAt(i)
+	h := hashKmer(hashInput(key))
+	cand := m.head[h]
+	for steps := 0; cand >= 0 && steps < m.maxChain; steps++ {
+		j := int(cand)
+		cand = m.prev[j]
+		m.stats.Probes++
+		if j >= i || m.packAt(j) != key {
+			continue
+		}
+		l := m.extendForward(j, i)
+		if l > best.Len {
+			best = Match{Src: j, Len: l}
+		}
+	}
+	return best, best.Len >= m.k
+}
+
+func (m *HashMatcher) extendForward(j, i int) int {
+	l := m.k
+	for i+l < len(m.data) && m.data[j+l] == m.data[i+l] {
+		l++
+		m.stats.Extends++
+	}
+	return l
+}
+
+// FindRC returns the longest reverse-complement match for the text starting
+// at i. The returned Src is the start of the source block in forward
+// coordinates; the block [Src, Src+Len) lies entirely in [0, i) because an
+// RC copy cannot overlap its own output.
+func (m *HashMatcher) FindRC(i int) (best Match, ok bool) {
+	if i+m.k > len(m.data) {
+		return Match{}, false
+	}
+	// We need a source block whose *last* k bases are the reverse complement
+	// of our next k bases, i.e. a forward k-mer equal to RC(data[i:i+k]).
+	key := m.packRCAt(i)
+	h := hashKmer(hashInput(key))
+	cand := m.head[h]
+	for steps := 0; cand >= 0 && steps < m.maxChain; steps++ {
+		j := int(cand)
+		cand = m.prev[j]
+		m.stats.Probes++
+		if j+m.k > i || m.packAt(j) != key {
+			continue
+		}
+		// Anchored: data[i:i+k] == RC(data[j:j+k]). Extend the source block
+		// backwards from j while the target extends forwards from i+k.
+		ext := 0
+		for j-1-ext >= 0 && i+m.k+ext < len(m.data) &&
+			m.data[i+m.k+ext] == 3-(m.data[j-1-ext]&3) {
+			ext++
+			m.stats.Extends++
+		}
+		l := m.k + ext
+		if l > best.Len {
+			best = Match{Src: j - ext, Len: l, RC: true}
+		}
+	}
+	return best, best.Len >= m.k
+}
+
+// ForEachForwardAnchor calls fn with each processed position j whose k-mer
+// equals the one at i, newest first, bounded by the chain limit. fn returns
+// false to stop early. GenCompress drives its approximate-repeat search
+// through this: every anchor is a candidate seed for edit-distance
+// extension.
+func (m *HashMatcher) ForEachForwardAnchor(i int, fn func(j int) bool) {
+	if i+m.k > len(m.data) {
+		return
+	}
+	key := m.packAt(i)
+	h := hashKmer(hashInput(key))
+	cand := m.head[h]
+	for steps := 0; cand >= 0 && steps < m.maxChain; steps++ {
+		j := int(cand)
+		cand = m.prev[j]
+		m.stats.Probes++
+		if j >= i || m.packAt(j) != key {
+			continue
+		}
+		if !fn(j) {
+			return
+		}
+	}
+}
+
+// FindBest returns the better of the direct and reverse-complement matches
+// at i. Direct matches win ties because they are marginally cheaper to
+// encode (no orientation flag branch mispredict on decode).
+func (m *HashMatcher) FindBest(i int) (Match, bool) {
+	f, okF := m.FindForward(i)
+	r, okR := m.FindRC(i)
+	switch {
+	case okF && okR:
+		if r.Len > f.Len {
+			return r, true
+		}
+		return f, true
+	case okF:
+		return f, true
+	case okR:
+		return r, true
+	}
+	return Match{}, false
+}
+
+// VerifyMatch checks that a Match faithfully describes the text at dst; it
+// is used by tests and by codec self-checks.
+func VerifyMatch(data []byte, dst int, mt Match) bool {
+	if mt.Len <= 0 || dst+mt.Len > len(data) || mt.Src < 0 {
+		return false
+	}
+	if !mt.RC {
+		if mt.Src+mt.Len > len(data) {
+			return false
+		}
+		for t := 0; t < mt.Len; t++ {
+			if data[dst+t] != data[mt.Src+t] {
+				return false
+			}
+		}
+		return true
+	}
+	if mt.Src+mt.Len > dst { // RC source must be fully processed
+		return false
+	}
+	for t := 0; t < mt.Len; t++ {
+		if data[dst+t] != 3-(data[mt.Src+mt.Len-1-t]&3) {
+			return false
+		}
+	}
+	return true
+}

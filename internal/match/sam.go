@@ -1,0 +1,130 @@
+package match
+
+// SuffixAutomaton is an online suffix automaton over the 4-symbol nucleotide
+// alphabet. It recognizes exactly the set of substrings of the text fed to
+// Extend, in O(1) amortized time per symbol and O(n) states.
+//
+// Uses in this repository:
+//   - oracle in matcher tests: LongestPrefixIn answers "how long is the
+//     longest prefix of p that occurs somewhere in the indexed text"
+//     exactly, which upper-bounds what the heuristic hash matcher may claim
+//     and lower-bounds what it must find when chains are unbounded;
+//   - repeat statistics for DNAX's repeat-length threshold heuristic.
+type SuffixAutomaton struct {
+	next [][4]int32
+	link []int32
+	len  []int32
+	last int32
+}
+
+// NewSuffixAutomaton returns an automaton of the empty string.
+func NewSuffixAutomaton(sizeHint int) *SuffixAutomaton {
+	sa := &SuffixAutomaton{
+		next: make([][4]int32, 1, 2*sizeHint+2),
+		link: make([]int32, 1, 2*sizeHint+2),
+		len:  make([]int32, 1, 2*sizeHint+2),
+	}
+	sa.next[0] = [4]int32{-1, -1, -1, -1}
+	sa.link[0] = -1
+	return sa
+}
+
+func (sa *SuffixAutomaton) addState(length, link int32, trans [4]int32) int32 {
+	sa.next = append(sa.next, trans)
+	sa.link = append(sa.link, link)
+	sa.len = append(sa.len, length)
+	return int32(len(sa.next) - 1)
+}
+
+// Extend appends symbol c (0..3) to the indexed text.
+func (sa *SuffixAutomaton) Extend(c byte) {
+	c &= 3
+	cur := sa.addState(sa.len[sa.last]+1, -1, [4]int32{-1, -1, -1, -1})
+	p := sa.last
+	for p != -1 && sa.next[p][c] == -1 {
+		sa.next[p][c] = cur
+		p = sa.link[p]
+	}
+	if p == -1 {
+		sa.link[cur] = 0
+	} else {
+		q := sa.next[p][c]
+		if sa.len[p]+1 == sa.len[q] {
+			sa.link[cur] = q
+		} else {
+			clone := sa.addState(sa.len[p]+1, sa.link[q], sa.next[q])
+			for p != -1 && sa.next[p][c] == q {
+				sa.next[p][c] = clone
+				p = sa.link[p]
+			}
+			sa.link[q] = clone
+			sa.link[cur] = clone
+		}
+	}
+	sa.last = cur
+}
+
+// ExtendAll appends every symbol of s.
+func (sa *SuffixAutomaton) ExtendAll(s []byte) {
+	for _, c := range s {
+		sa.Extend(c)
+	}
+}
+
+// States reports the number of automaton states (useful for memory models;
+// at most 2n-1 for a text of length n >= 2).
+func (sa *SuffixAutomaton) States() int { return len(sa.next) }
+
+// MemoryFootprint approximates resident bytes of the automaton.
+func (sa *SuffixAutomaton) MemoryFootprint() int {
+	return len(sa.next)*16 + len(sa.link)*4 + len(sa.len)*4
+}
+
+// Contains reports whether s occurs as a substring of the indexed text.
+func (sa *SuffixAutomaton) Contains(s []byte) bool {
+	st := int32(0)
+	for _, c := range s {
+		st = sa.next[st][c&3]
+		if st == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// LongestPrefixIn returns the length of the longest prefix of p that occurs
+// as a substring of the indexed text.
+func (sa *SuffixAutomaton) LongestPrefixIn(p []byte) int {
+	st := int32(0)
+	for i, c := range p {
+		st = sa.next[st][c&3]
+		if st == -1 {
+			return i
+		}
+	}
+	return len(p)
+}
+
+// MatchingStatistics returns, for every position i of p, the length of the
+// longest substring of the indexed text that ends at... more precisely the
+// longest suffix of p[:i+1] that is a substring of the text (the classic
+// matching-statistics array). DNAX uses the distribution of these lengths to
+// pick its minimum-repeat-length threshold.
+func (sa *SuffixAutomaton) MatchingStatistics(p []byte) []int {
+	ms := make([]int, len(p))
+	st := int32(0)
+	l := int32(0)
+	for i, c := range p {
+		c &= 3
+		for st != 0 && sa.next[st][c] == -1 {
+			st = sa.link[st]
+			l = sa.len[st]
+		}
+		if sa.next[st][c] != -1 {
+			st = sa.next[st][c]
+			l++
+		}
+		ms[i] = int(l)
+	}
+	return ms
+}

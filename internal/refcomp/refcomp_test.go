@@ -1,0 +1,203 @@
+package refcomp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+func reference(t testing.TB, n int, seed int64) []byte {
+	t.Helper()
+	p := synth.Profile{Length: n, GC: 0.42, RepeatProb: 0.001, RepeatMin: 20, RepeatMax: 300,
+		MutationRate: 0.02, LocalOrder: 3, LocalBias: 0.7}
+	return p.Generate(seed)
+}
+
+// mutate produces a target that differs from ref by the given substitution
+// rate plus occasional short indels.
+func mutate(ref []byte, subRate, indelRate float64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, len(ref)+16)
+	for i := 0; i < len(ref); i++ {
+		switch {
+		case rng.Float64() < indelRate/2: // deletion
+			continue
+		case rng.Float64() < indelRate/2: // insertion
+			out = append(out, byte(rng.Intn(4)))
+			out = append(out, ref[i])
+		case rng.Float64() < subRate:
+			out = append(out, (ref[i]+byte(1+rng.Intn(3)))&3)
+		default:
+			out = append(out, ref[i])
+		}
+	}
+	return out
+}
+
+func roundTrip(t *testing.T, c *Compressor, target []byte) int {
+	t.Helper()
+	data, st, err := c.Compress(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WorkNS < 0 || st.PeakMem <= 0 {
+		t.Fatalf("bad stats %+v", st)
+	}
+	restored, _, err := c.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored, target) {
+		t.Fatalf("round trip mismatch: %d vs %d bases", len(restored), len(target))
+	}
+	return len(data)
+}
+
+func TestIdenticalTargetNearFree(t *testing.T) {
+	ref := reference(t, 200000, 1)
+	c, err := New(ref, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := roundTrip(t, c, ref)
+	bpb := compress.Ratio(len(ref), size)
+	t.Logf("identical target: %d bytes (%.5f bits/base)", size, bpb)
+	if bpb > 0.01 {
+		t.Fatalf("identical target cost %.5f bits/base, want ~free", bpb)
+	}
+}
+
+func TestSNPTarget(t *testing.T) {
+	// The paper's 99.9 % intra-species similarity: 0.1 % substitutions.
+	ref := reference(t, 200000, 2)
+	target := mutate(ref, 0.001, 0, 3)
+	c, err := New(ref, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := roundTrip(t, c, target)
+	bpb := compress.Ratio(len(target), size)
+	ratioVsASCII := float64(len(target)) / float64(size) // 1 byte per base raw
+	t.Logf("0.1%% SNP target: %d bytes (%.4f bits/base, %.0f:1 vs ASCII)", size, bpb, ratioVsASCII)
+	if bpb > 0.08 {
+		t.Fatalf("SNP target cost %.4f bits/base, want < 0.08 (paper cites ~1:400)", bpb)
+	}
+	if ratioVsASCII < 100 {
+		t.Fatalf("reference ratio only %.0f:1", ratioVsASCII)
+	}
+}
+
+func TestIndelTarget(t *testing.T) {
+	ref := reference(t, 150000, 4)
+	target := mutate(ref, 0.001, 0.0005, 5)
+	c, err := New(ref, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := roundTrip(t, c, target)
+	bpb := compress.Ratio(len(target), size)
+	t.Logf("SNP+indel target: %.4f bits/base", bpb)
+	if bpb > 0.2 {
+		t.Fatalf("indel target cost %.4f bits/base, want < 0.2", bpb)
+	}
+}
+
+func TestUnrelatedTargetFallsBackToLiterals(t *testing.T) {
+	ref := reference(t, 50000, 6)
+	unrelated := synth.Profile{Length: 50000, GC: 0.5}.Generate(7)
+	c, err := New(ref, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := roundTrip(t, c, unrelated)
+	bpb := compress.Ratio(len(unrelated), size)
+	t.Logf("unrelated target: %.3f bits/base", bpb)
+	if bpb > 2.1 {
+		t.Fatalf("unrelated fallback cost %.3f bits/base — literal escape broken", bpb)
+	}
+}
+
+func TestSmallAndEmptyTargets(t *testing.T) {
+	ref := reference(t, 10000, 8)
+	c, err := New(ref, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, c, nil)
+	roundTrip(t, c, ref[:1])
+	roundTrip(t, c, ref[:40])
+	roundTrip(t, c, ref[5000:5100])
+}
+
+func TestEmptyReference(t *testing.T) {
+	c, err := New(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := synth.Profile{Length: 5000, GC: 0.5}.Generate(9)
+	size := roundTrip(t, c, target)
+	if compress.Ratio(len(target), size) > 2.2 {
+		t.Fatal("empty reference should degrade to ~literal coding")
+	}
+}
+
+func TestRejectsInvalidInputs(t *testing.T) {
+	if _, err := New([]byte{0, 9}, Config{}); err == nil {
+		t.Fatal("invalid reference accepted")
+	}
+	if _, err := New(nil, Config{AnchorK: 40}); err == nil {
+		t.Fatal("oversized AnchorK accepted")
+	}
+	c, err := New([]byte{0, 1, 2, 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Compress([]byte{0, 9}); err == nil {
+		t.Fatal("invalid target accepted")
+	}
+	if _, _, err := c.Decompress(nil); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestDecompressNeedsMatchingReference(t *testing.T) {
+	refA := reference(t, 30000, 10)
+	refB := reference(t, 30000, 11)
+	ca, err := New(refA, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := New(refB, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := mutate(refA, 0.001, 0, 12)
+	data, _, err := ca.Compress(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := cb.Decompress(data)
+	if err == nil && bytes.Equal(restored, target) {
+		t.Fatal("decompression with the wrong reference cannot succeed")
+	}
+}
+
+func BenchmarkCompressSNPTarget(b *testing.B) {
+	ref := reference(b, 1<<20, 13)
+	target := mutate(ref, 0.001, 0, 14)
+	c, err := New(ref, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(target)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Compress(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

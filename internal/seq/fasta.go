@@ -1,0 +1,152 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Record is a single FASTA record: a header line (without the leading '>')
+// and the raw sequence text with line breaks removed.
+type Record struct {
+	Header string
+	Seq    []byte // ASCII bases, possibly including ambiguity codes
+}
+
+// ReadFASTA parses every record from r. Sequence lines are concatenated
+// verbatim (minus whitespace); no alphabet validation happens here — that is
+// the Cleanser's job, mirroring the paper's pipeline where downloaded NCBI
+// files carry headers and extra text that must be separated before
+// single-sequence experiments.
+func ReadFASTA(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		recs []Record
+		cur  *Record
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '>' {
+			recs = append(recs, Record{Header: string(line[1:])})
+			cur = &recs[len(recs)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seq: line %d: sequence data before any FASTA header", lineNo)
+		}
+		cur.Seq = append(cur.Seq, line...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: reading FASTA: %w", err)
+	}
+	return recs, nil
+}
+
+// WriteFASTA writes records to w with sequence lines wrapped at width
+// characters (70 if width <= 0, the NCBI convention).
+func WriteFASTA(w io.Writer, recs []Record, width int) error {
+	if width <= 0 {
+		width = 70
+	}
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Header); err != nil {
+			return err
+		}
+		for i := 0; i < len(rec.Seq); i += width {
+			end := i + width
+			if end > len(rec.Seq) {
+				end = len(rec.Seq)
+			}
+			if _, err := bw.Write(rec.Seq[i:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// CleanStats reports what the Cleanser removed.
+type CleanStats struct {
+	Kept      int // ACGT bases kept
+	Ambiguous int // IUPAC ambiguity codes (N, R, Y, ...) dropped
+	Other     int // whitespace, digits, punctuation dropped
+}
+
+// Cleanser implements the framework component of the same name (paper Fig. 7):
+// it strips headers, whitespace, numbering and non-ACGT characters so that
+// "single sequence experiments can be carried out smoothly". The result is a
+// symbol-coded sequence ready for any codec.
+type Cleanser struct {
+	// KeepAmbiguousAs, when non-zero, substitutes IUPAC ambiguity codes with
+	// the given base letter instead of dropping them. The paper drops the
+	// extra text entirely, which is the zero-value behaviour.
+	KeepAmbiguousAs byte
+}
+
+var iupacAmbiguity = func() [256]bool {
+	var t [256]bool
+	for _, b := range []byte("NRYSWKMBDHVnryswkmbdhv") {
+		t[b] = true
+	}
+	return t
+}()
+
+// Clean converts raw FASTA sequence text to symbol codes, dropping everything
+// outside the ACGT alphabet, and reports what was removed.
+func (cl Cleanser) Clean(raw []byte) ([]byte, CleanStats) {
+	var st CleanStats
+	out := make([]byte, 0, len(raw))
+	sub := byte(0xFF)
+	if cl.KeepAmbiguousAs != 0 {
+		sub = baseToCode[cl.KeepAmbiguousAs]
+	}
+	for _, b := range raw {
+		if c := baseToCode[b]; c != 0xFF {
+			out = append(out, c)
+			st.Kept++
+			continue
+		}
+		if iupacAmbiguity[b] {
+			st.Ambiguous++
+			if sub != 0xFF {
+				out = append(out, sub)
+				st.Kept++
+			}
+			continue
+		}
+		st.Other++
+	}
+	return out, st
+}
+
+// CleanFASTA reads every record from r, cleans each, and returns one symbol
+// sequence per record alongside aggregate statistics.
+func (cl Cleanser) CleanFASTA(r io.Reader) ([][]byte, CleanStats, error) {
+	recs, err := ReadFASTA(r)
+	if err != nil {
+		return nil, CleanStats{}, err
+	}
+	var (
+		seqs  [][]byte
+		total CleanStats
+	)
+	for _, rec := range recs {
+		s, st := cl.Clean(rec.Seq)
+		seqs = append(seqs, s)
+		total.Kept += st.Kept
+		total.Ambiguous += st.Ambiguous
+		total.Other += st.Other
+	}
+	return seqs, total, nil
+}

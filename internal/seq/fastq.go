@@ -1,0 +1,83 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// FASTQRecord is one read of a FASTQ file: identifier, bases, and
+// per-base Phred qualities (ASCII-encoded, same length as Seq).
+type FASTQRecord struct {
+	ID   string
+	Seq  []byte // ASCII bases
+	Qual []byte // ASCII quality characters
+}
+
+// Validate checks structural coherence.
+func (r FASTQRecord) Validate() error {
+	if len(r.Seq) != len(r.Qual) {
+		return fmt.Errorf("seq: record %q: %d bases vs %d qualities", r.ID, len(r.Seq), len(r.Qual))
+	}
+	return nil
+}
+
+// ReadFASTQ parses the four-line-per-record FASTQ format, the raw output of
+// the high-throughput sequencers whose data volumes motivate the paper.
+func ReadFASTQ(r io.Reader) ([]FASTQRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var recs []FASTQRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		head := bytes.TrimSpace(sc.Bytes())
+		if len(head) == 0 {
+			continue
+		}
+		if head[0] != '@' {
+			return nil, fmt.Errorf("seq: line %d: expected @header, got %q", line, head)
+		}
+		rec := FASTQRecord{ID: string(head[1:])}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("seq: record %q: missing sequence line", rec.ID)
+		}
+		line++
+		rec.Seq = append([]byte(nil), bytes.TrimSpace(sc.Bytes())...)
+		if !sc.Scan() {
+			return nil, fmt.Errorf("seq: record %q: missing separator line", rec.ID)
+		}
+		line++
+		if sep := bytes.TrimSpace(sc.Bytes()); len(sep) == 0 || sep[0] != '+' {
+			return nil, fmt.Errorf("seq: record %q: line %d is not a + separator", rec.ID, line)
+		}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("seq: record %q: missing quality line", rec.ID)
+		}
+		line++
+		rec.Qual = append([]byte(nil), bytes.TrimSpace(sc.Bytes())...)
+		if err := rec.Validate(); err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: reading FASTQ: %w", err)
+	}
+	return recs, nil
+}
+
+// WriteFASTQ writes records in four-line format.
+func WriteFASTQ(w io.Writer, recs []FASTQRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if err := rec.Validate(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", rec.ID, rec.Seq, rec.Qual); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

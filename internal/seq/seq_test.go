@@ -1,0 +1,327 @@
+package seq
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodeBase(t *testing.T) {
+	for _, c := range []struct {
+		ascii byte
+		code  byte
+	}{{'A', A}, {'C', C}, {'G', G}, {'T', T}, {'a', A}, {'c', C}, {'g', G}, {'t', T}} {
+		got, err := Code(c.ascii)
+		if err != nil {
+			t.Fatalf("Code(%q): %v", c.ascii, err)
+		}
+		if got != c.code {
+			t.Errorf("Code(%q) = %d, want %d", c.ascii, got, c.code)
+		}
+	}
+	if _, err := Code('N'); err == nil {
+		t.Error("Code('N') should fail")
+	}
+	if _, err := Code('>'); err == nil {
+		t.Error("Code('>') should fail")
+	}
+	for code := byte(0); code < 4; code++ {
+		back, err := Code(Base(code))
+		if err != nil || back != code {
+			t.Errorf("Base/Code round trip failed for %d", code)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	pairs := map[byte]byte{A: T, T: A, C: G, G: C}
+	for c, want := range pairs {
+		if got := Complement(c); got != want {
+			t.Errorf("Complement(%d) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	in := []byte("ACGTacgtTTGA")
+	codes, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 1, 2, 3, 0, 1, 2, 3, 3, 3, 2, 0}
+	if !bytes.Equal(codes, want) {
+		t.Fatalf("Encode = %v, want %v", codes, want)
+	}
+	if got := Decode(codes); !bytes.Equal(got, []byte("ACGTACGTTTGA")) {
+		t.Fatalf("Decode = %q", got)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := Encode([]byte("ACGNX")); err == nil {
+		t.Fatal("Encode accepted invalid bases")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Valid([]byte{0, 1, 2, 3}) {
+		t.Error("Valid rejected legal codes")
+	}
+	if Valid([]byte{0, 4}) {
+		t.Error("Valid accepted code 4")
+	}
+	if !Valid(nil) {
+		t.Error("Valid(nil) should be true")
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	in, _ := Encode([]byte("AACGT"))
+	got := ReverseComplement(in)
+	want, _ := Encode([]byte("ACGTT"))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ReverseComplement = %s, want ACGTT", Decode(got))
+	}
+	// Involution property.
+	if !bytes.Equal(ReverseComplement(got), in) {
+		t.Fatal("ReverseComplement is not an involution")
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	for n := 0; n <= 17; n++ {
+		codes := make([]byte, n)
+		for i := range codes {
+			codes[i] = byte((i * 7) % 4)
+		}
+		packed := Pack(codes)
+		if want := (n + 3) / 4; len(packed) != want {
+			t.Fatalf("n=%d: packed length %d, want %d", n, len(packed), want)
+		}
+		got, err := Unpack(packed, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, codes) {
+			t.Fatalf("n=%d: unpack mismatch", n)
+		}
+	}
+}
+
+func TestUnpackShortBuffer(t *testing.T) {
+	if _, err := Unpack([]byte{0}, 5); err == nil {
+		t.Fatal("Unpack accepted short buffer")
+	}
+}
+
+func TestGCContent(t *testing.T) {
+	s, _ := Encode([]byte("GGCC"))
+	if gc := GCContent(s); gc != 1.0 {
+		t.Errorf("GCContent(GGCC) = %f", gc)
+	}
+	s, _ = Encode([]byte("AATT"))
+	if gc := GCContent(s); gc != 0.0 {
+		t.Errorf("GCContent(AATT) = %f", gc)
+	}
+	s, _ = Encode([]byte("ACGT"))
+	if gc := GCContent(s); gc != 0.5 {
+		t.Errorf("GCContent(ACGT) = %f", gc)
+	}
+	if GCContent(nil) != 0 {
+		t.Error("GCContent(nil) should be 0")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s, _ := Encode([]byte("AACGTTT"))
+	n := Counts(s)
+	if n != [4]int{2, 1, 1, 3} {
+		t.Fatalf("Counts = %v", n)
+	}
+}
+
+func TestQuickReverseComplementInvolution(t *testing.T) {
+	f := func(raw []byte) bool {
+		codes := make([]byte, len(raw))
+		for i, b := range raw {
+			codes[i] = b & 3
+		}
+		return bytes.Equal(ReverseComplement(ReverseComplement(codes)), codes)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPackUnpack(t *testing.T) {
+	f := func(raw []byte) bool {
+		codes := make([]byte, len(raw))
+		for i, b := range raw {
+			codes[i] = b & 3
+		}
+		got, err := Unpack(Pack(codes), len(codes))
+		return err == nil && bytes.Equal(got, codes)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFASTA(t *testing.T) {
+	in := ">seq1 first record\nACGT\nACGT\n\n>seq2\nTTTT\n"
+	recs, err := ReadFASTA(bytes.NewReader([]byte(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Header != "seq1 first record" || string(recs[0].Seq) != "ACGTACGT" {
+		t.Fatalf("rec0 = %+v", recs[0])
+	}
+	if recs[1].Header != "seq2" || string(recs[1].Seq) != "TTTT" {
+		t.Fatalf("rec1 = %+v", recs[1])
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	if _, err := ReadFASTA(bytes.NewReader([]byte("ACGT\n>h\n"))); err == nil {
+		t.Fatal("data before header must fail")
+	}
+}
+
+func TestWriteFASTAWraps(t *testing.T) {
+	rec := Record{Header: "x", Seq: bytes.Repeat([]byte("A"), 150)}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, []Record{rec}, 70); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 4 { // header + 70 + 70 + 10
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	if len(lines[1]) != 70 || len(lines[3]) != 10 {
+		t.Fatalf("wrap widths wrong: %d, %d", len(lines[1]), len(lines[3]))
+	}
+	// Round trip.
+	recs, err := ReadFASTA(&buf)
+	if err != nil || len(recs) != 1 || !bytes.Equal(recs[0].Seq, rec.Seq) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestCleanser(t *testing.T) {
+	raw := []byte("ACGT nN123\tRYacgt>junk")
+	got, st := Cleanser{}.Clean(raw)
+	want, _ := Encode([]byte("ACGTacgt"))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Clean = %v, want %v", got, want)
+	}
+	if st.Kept != 8 {
+		t.Errorf("Kept = %d, want 8", st.Kept)
+	}
+	if st.Ambiguous != 6 { // n N R Y plus 'n' and 'k' inside "junk"
+		t.Errorf("Ambiguous = %d, want 6", st.Ambiguous)
+	}
+	if st.Other != 8 { // space 1 2 3 tab > j u
+		t.Errorf("Other = %d, want 8", st.Other)
+	}
+}
+
+func TestCleanserSubstitution(t *testing.T) {
+	raw := []byte("ACNNGT")
+	got, st := Cleanser{KeepAmbiguousAs: 'A'}.Clean(raw)
+	want, _ := Encode([]byte("ACAAGT"))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Clean = %v, want %v", got, want)
+	}
+	if st.Kept != 6 || st.Ambiguous != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCleanFASTA(t *testing.T) {
+	in := ">a\nACGTN\n>b\nGG TT\n"
+	seqs, st, err := Cleanser{}.CleanFASTA(bytes.NewReader([]byte(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("got %d seqs", len(seqs))
+	}
+	if len(seqs[0]) != 4 || len(seqs[1]) != 4 {
+		t.Fatalf("lengths %d, %d", len(seqs[0]), len(seqs[1]))
+	}
+	if st.Kept != 8 || st.Ambiguous != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ascii := make([]byte, 1<<20)
+	for i := range ascii {
+		ascii[i] = Base(byte(rng.Intn(4)))
+	}
+	b.SetBytes(int64(len(ascii)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(ascii); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	codes := make([]byte, 1<<20)
+	for i := range codes {
+		codes[i] = byte(rng.Intn(4))
+	}
+	b.SetBytes(int64(len(codes)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Pack(codes)
+	}
+}
+
+func TestReadFASTQ(t *testing.T) {
+	in := "@read1 lane1\nACGT\n+\nIIII\n@read2\nTT\n+anything\n!#\n"
+	recs, err := ReadFASTQ(bytes.NewReader([]byte(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].ID != "read1 lane1" || string(recs[0].Seq) != "ACGT" || string(recs[0].Qual) != "IIII" {
+		t.Fatalf("rec0 = %+v", recs[0])
+	}
+	if recs[1].ID != "read2" || string(recs[1].Qual) != "!#" {
+		t.Fatalf("rec1 = %+v", recs[1])
+	}
+}
+
+func TestReadFASTQErrors(t *testing.T) {
+	cases := []string{
+		"ACGT\n+\nIIII\n",        // missing @
+		"@r\nACGT\n",             // truncated
+		"@r\nACGT\nIIII\nIIII\n", // bad separator
+		"@r\nACGT\n+\nII\n",      // quality length mismatch
+		"@r\nACGT\n+\n",          // missing quality line
+	}
+	for i, in := range cases {
+		if _, err := ReadFASTQ(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestWriteFASTQValidates(t *testing.T) {
+	bad := []FASTQRecord{{ID: "x", Seq: []byte("ACGT"), Qual: []byte("I")}}
+	var buf bytes.Buffer
+	if err := WriteFASTQ(&buf, bad); err == nil {
+		t.Fatal("mismatched record written")
+	}
+}
