@@ -14,6 +14,7 @@
 package ctxdna_bench
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -220,6 +221,54 @@ func BenchmarkTable2Accuracy(b *testing.B) {
 	report("chaid_ram", "CHAID", "100", "RAM")
 	report("cart_ctime", "CART", "100", "CompressionTime")
 	report("cart_mix6040", "CART", "60:40", "RAM")
+}
+
+// --- Parallel pipeline (EXPERIMENTS.md "Parallel grid build") ---
+
+// parallelBenchFiles is the corpus for the jobs sweep: big enough that
+// per-run work dominates pool overhead, small enough to iterate.
+func parallelBenchFiles() []synth.File {
+	return synth.ExperimentCorpus(synth.CorpusSpec{NumFiles: 16, MinSize: 2 << 10, MaxSize: 64 << 10, Seed: 2015})
+}
+
+// BenchmarkRunParallelJobs sweeps the worker count over the full grid
+// build. On multi-core hardware the (file × codec) fan-out scales nearly
+// linearly until jobs reaches the core count (the acceptance target is
+// >= 2x at jobs=4); on a single-core runner every setting degenerates to
+// sequential wall-clock, which the recorded ns/op makes visible.
+func BenchmarkRunParallelJobs(b *testing.B) {
+	files := parallelBenchFiles()
+	contexts := cloud.Grid()
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(benchName("jobs", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.RunParallel(context.Background(), files, contexts, paperCodecs, experiment.DefaultNoise(), jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunCachedSweep measures a repeated sweep over an already-seen
+// corpus: with a warm content-hash cache the grid rebuild skips every
+// compression and collapses to context expansion.
+func BenchmarkRunCachedSweep(b *testing.B) {
+	files := parallelBenchFiles()
+	contexts := cloud.Grid()
+	cache := compress.NewCache()
+	if _, err := experiment.RunParallelCached(context.Background(), files, contexts, paperCodecs, experiment.DefaultNoise(), 4, cache); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunParallelCached(context.Background(), files, contexts, paperCodecs, experiment.DefaultNoise(), 4, cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	hits, misses := cache.Counters()
+	b.ReportMetric(float64(hits)/float64(hits+misses), "hit_rate")
 }
 
 // --- Ablations (DESIGN.md §5) ---

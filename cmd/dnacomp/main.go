@@ -10,6 +10,12 @@
 //	dnacomp -d -o restored.txt seq.dnax
 //
 // The container records the codec, so decompression needs no flag.
+//
+// Batch mode compresses many inputs concurrently through a bounded worker
+// pool with a shared content-hash result cache, writing one container per
+// input next to it (or under -o DIR):
+//
+//	dnacomp -batch -codec dnax -jobs 8 -o out/ *.fa
 package main
 
 import (
@@ -18,7 +24,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"github.com/srl-nuces/ctxdna/internal/compress"
 	"github.com/srl-nuces/ctxdna/internal/seq"
@@ -40,11 +49,19 @@ func main() {
 	var (
 		codecName  = flag.String("codec", "dnax", "codec for compression: "+strings.Join(compress.Names(), ", "))
 		decompress = flag.Bool("d", false, "decompress instead of compress")
-		output     = flag.String("o", "", "output path (default stdout)")
+		output     = flag.String("o", "", "output path (default stdout); output directory in batch mode")
 		quiet      = flag.Bool("q", false, "suppress the stats line")
+		batch      = flag.Bool("batch", false, "compress every input file argument (one container each)")
+		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel workers in batch mode")
 	)
 	flag.Parse()
-	if err := run(*codecName, *decompress, *output, *quiet, flag.Args()); err != nil {
+	var err error
+	if *batch {
+		err = runBatch(*codecName, *decompress, *output, *quiet, *jobs, flag.Args())
+	} else {
+		err = run(*codecName, *decompress, *output, *quiet, flag.Args())
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnacomp:", err)
 		os.Exit(1)
 	}
@@ -129,6 +146,104 @@ func cleanse(raw []byte) ([]byte, seq.CleanStats) {
 		}
 	}
 	return cl.Clean(raw)
+}
+
+// runBatch compresses every input file with the chosen codec through a
+// bounded worker pool sharing one content-hash result cache, so duplicate
+// inputs are compressed once. Failures are aggregated per file; successful
+// outputs are still written.
+func runBatch(codecName string, decompress bool, outDir string, quiet bool, jobs int, args []string) error {
+	if decompress {
+		return fmt.Errorf("batch mode is compression-only; decompress files individually")
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("batch mode needs input file arguments")
+	}
+	if _, err := compress.New(codecName); err != nil {
+		return err
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(args) {
+		jobs = len(args)
+	}
+
+	cache := compress.NewCache()
+	errs := make([]error, len(args))
+	lines := make([]string, len(args))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				lines[i], errs[i] = batchOne(cache, codecName, outDir, args[i])
+			}
+		}()
+	}
+	for i := range args {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var failed []string
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Sprintf("%s: %v", args[i], err))
+			continue
+		}
+		if !quiet {
+			fmt.Fprintln(os.Stderr, lines[i])
+		}
+	}
+	if !quiet {
+		hits, misses := cache.Counters()
+		fmt.Fprintf(os.Stderr, "dnacomp: batch: %d/%d files ok (jobs=%d, cache %d hits / %d misses)\n",
+			len(args)-len(failed), len(args), jobs, hits, misses)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d of %d inputs failed: %s", len(failed), len(args), strings.Join(failed, "; "))
+	}
+	return nil
+}
+
+// batchOne compresses one input file into <name>.<codec>, beside the input
+// or under outDir when given.
+func batchOne(cache *compress.Cache, codecName, outDir, in string) (string, error) {
+	raw, err := os.ReadFile(in)
+	if err != nil {
+		return "", err
+	}
+	symbols, _ := cleanse(raw)
+	if len(symbols) == 0 {
+		return "", fmt.Errorf("input contains no ACGT bases")
+	}
+	r, err := compress.CompressCached(cache, codecName, symbols)
+	if err != nil {
+		return "", err
+	}
+	outPath := in + "." + codecName
+	if outDir != "" {
+		outPath = filepath.Join(outDir, filepath.Base(in)+"."+codecName)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	buf.WriteString(codecName)
+	buf.WriteByte('\n')
+	buf.Write(r.Data)
+	if err := os.WriteFile(outPath, buf.Bytes(), 0o644); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("dnacomp: %s: %s: %d bases -> %d bytes (%.3f bits/base)",
+		codecName, in, r.Bases, len(r.Data), compress.Ratio(r.Bases, len(r.Data))), nil
 }
 
 func doDecompress(raw []byte, out io.Writer, quiet bool) error {

@@ -106,6 +106,83 @@ func TestContainerSelfDescribes(t *testing.T) {
 	}
 }
 
+// TestBatchCompress: batch mode writes one container per input, each of
+// which decompresses back to the cleansed input, and duplicate content is
+// served from the shared cache.
+func TestBatchCompress(t *testing.T) {
+	p := synth.Profile{Length: 4000, GC: 0.45, RepeatProb: 0.002, RepeatMin: 20, RepeatMax: 200}
+	ascii := p.GenerateASCII(21)
+	other := synth.Profile{Length: 2500, GC: 0.55}.GenerateASCII(22)
+	in1 := writeTemp(t, "a.txt", ascii)
+	in2 := writeTemp(t, "b.txt", other)
+	in3 := writeTemp(t, "dup.txt", ascii) // same content as a.txt -> cache hit
+	outDir := t.TempDir()
+
+	if err := runBatch("dnax", false, outDir, true, 2, []string{in1, in2, in3}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		in   string
+		want []byte
+	}{
+		{in1, ascii}, {in2, other}, {in3, ascii},
+	} {
+		packed := filepath.Join(outDir, filepath.Base(tc.in)+".dnax")
+		restored := filepath.Join(t.TempDir(), "restored.txt")
+		if err := run("", true, restored, true, []string{packed}); err != nil {
+			t.Fatalf("%s: decompress: %v", packed, err)
+		}
+		got, err := os.ReadFile(restored)
+		if err != nil || !bytes.Equal(got, tc.want) {
+			t.Fatalf("%s: batch round trip mismatch (%v)", tc.in, err)
+		}
+	}
+}
+
+// TestBatchWithoutOutputDir writes containers beside the inputs.
+func TestBatchWithoutOutputDir(t *testing.T) {
+	in := writeTemp(t, "seq.txt", []byte("ACGTACGTACGTACGT"))
+	if err := runBatch("twobit", false, "", true, 1, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(in + ".twobit"); err != nil {
+		t.Fatalf("container not written beside input: %v", err)
+	}
+}
+
+// TestBatchErrors: failures are aggregated per input and name the file;
+// good inputs in the same batch still produce output.
+func TestBatchErrors(t *testing.T) {
+	good := writeTemp(t, "good.txt", []byte("ACGTACGTACGT"))
+	missing := filepath.Join(t.TempDir(), "missing.txt")
+	empty := writeTemp(t, "numbers.txt", []byte("123456"))
+	outDir := t.TempDir()
+
+	err := runBatch("dnax", false, outDir, true, 4, []string{good, missing, empty})
+	if err == nil {
+		t.Fatal("batch with bad inputs reported success")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "missing.txt") || !strings.Contains(msg, "numbers.txt") {
+		t.Errorf("aggregated error %q does not name the failing files", msg)
+	}
+	if !strings.Contains(err.Error(), "2 of 3") {
+		t.Errorf("aggregated error %q does not count failures", err.Error())
+	}
+	if _, statErr := os.Stat(filepath.Join(outDir, "good.txt.dnax")); statErr != nil {
+		t.Errorf("good input skipped when siblings failed: %v", statErr)
+	}
+
+	if err := runBatch("dnax", true, outDir, true, 1, []string{good}); err == nil {
+		t.Error("batch decompress accepted")
+	}
+	if err := runBatch("dnax", false, outDir, true, 1, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := runBatch("nope", false, outDir, true, 1, []string{good}); err == nil {
+		t.Error("unknown codec accepted in batch mode")
+	}
+}
+
 func TestErrors(t *testing.T) {
 	if err := run("nope", false, "", true, []string{writeTemp(t, "x.txt", []byte("ACGT"))}); err == nil || !strings.Contains(err.Error(), "unknown codec") {
 		t.Errorf("unknown codec: err = %v", err)

@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/srl-nuces/ctxdna/internal/cloud"
+	"github.com/srl-nuces/ctxdna/internal/compress"
 	"github.com/srl-nuces/ctxdna/internal/core"
 	"github.com/srl-nuces/ctxdna/internal/experiment"
 	"github.com/srl-nuces/ctxdna/internal/synth"
@@ -35,27 +38,30 @@ func main() {
 		maxKB  = flag.Int("max-kb", 256, "largest file in KB (paper cap: 10240)")
 		seed   = flag.Int64("seed", 2015, "corpus seed")
 		out    = flag.String("out", "grid.csv", "output CSV path")
+		jobs   = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel compression workers (1 = sequential; results identical)")
 	)
 	flag.Parse()
-	if err := run(*nFiles, *minKB, *maxKB, *seed, *out); err != nil {
+	if err := run(*nFiles, *minKB, *maxKB, *seed, *out, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiment:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nFiles, minKB, maxKB int, seed int64, out string) error {
+func run(nFiles, minKB, maxKB int, seed int64, out string, jobs int) error {
 	spec := synth.CorpusSpec{NumFiles: nFiles, MinSize: minKB << 10, MaxSize: maxKB << 10, Seed: seed}
 	fmt.Fprintf(os.Stderr, "experiment: generating %d files (%d KB .. %d KB, seed %d)\n", nFiles, minKB, maxKB, seed)
 	files := synth.ExperimentCorpus(spec)
 
 	codecs := []string{"ctw", "dnax", "gencompress", "gzip"}
+	cache := compress.NewCache()
 	start := time.Now()
-	g, err := experiment.Run(files, cloud.Grid(), codecs, experiment.DefaultNoise())
+	g, err := experiment.RunParallelCached(context.Background(), files, cloud.Grid(), codecs, experiment.DefaultNoise(), jobs, cache)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "experiment: %d rows (%d files x %d contexts x %d codecs) in %s\n",
-		len(g.Rows), len(g.Files), len(g.Contexts), len(g.Codecs), time.Since(start).Round(time.Millisecond))
+	hits, misses := cache.Counters()
+	fmt.Fprintf(os.Stderr, "experiment: %d rows (%d files x %d contexts x %d codecs) in %s (jobs=%d, cache %d hits / %d misses)\n",
+		len(g.Rows), len(g.Files), len(g.Contexts), len(g.Codecs), time.Since(start).Round(time.Millisecond), jobs, hits, misses)
 
 	counts := g.LabelCounts(core.TimeOnlyWeights())
 	fmt.Fprintf(os.Stderr, "experiment: time-only labels: ")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,7 +11,7 @@ import (
 
 func TestRunWritesReadableGrid(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "grid.csv")
-	if err := run(6, 2, 16, 7, out); err != nil {
+	if err := run(6, 2, 16, 7, out, 1); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -31,7 +32,32 @@ func TestRunWritesReadableGrid(t *testing.T) {
 }
 
 func TestRunBadOutputPath(t *testing.T) {
-	if err := run(2, 2, 4, 7, filepath.Join(t.TempDir(), "no", "such", "dir", "g.csv")); err == nil {
+	if err := run(2, 2, 4, 7, filepath.Join(t.TempDir(), "no", "such", "dir", "g.csv"), 2); err == nil {
 		t.Fatal("unwritable output accepted")
+	}
+}
+
+// TestRunJobsDeterministic: the CLI produces byte-identical CSVs regardless
+// of worker count.
+func TestRunJobsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	seqOut := filepath.Join(dir, "seq.csv")
+	parOut := filepath.Join(dir, "par.csv")
+	if err := run(4, 2, 8, 9, seqOut, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(4, 2, 8, 9, parOut, 4); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(seqOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(parOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("jobs=1 and jobs=4 CSVs differ (%d vs %d bytes)", len(a), len(b))
 	}
 }

@@ -8,19 +8,29 @@
 //
 // Output is textual: per-codec summary tables plus coarse ASCII series —
 // enough to read off who wins, by what factor, and where the crossovers sit.
+//
+// When the grid CSV does not exist yet, figures builds it in-process with
+// the parallel experiment pipeline (-jobs workers, content-hash result
+// cache) and persists it to the -grid path, so `figures -all` is a
+// one-command pipeline on a fresh checkout.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
+	"github.com/srl-nuces/ctxdna/internal/cloud"
+	"github.com/srl-nuces/ctxdna/internal/compress"
 	"github.com/srl-nuces/ctxdna/internal/core"
 	"github.com/srl-nuces/ctxdna/internal/dtree"
 	"github.com/srl-nuces/ctxdna/internal/experiment"
 	"github.com/srl-nuces/ctxdna/internal/stats"
+	"github.com/srl-nuces/ctxdna/internal/synth"
 
 	_ "github.com/srl-nuces/ctxdna/internal/compress/ctw"
 	_ "github.com/srl-nuces/ctxdna/internal/compress/dnax"
@@ -28,27 +38,34 @@ import (
 	_ "github.com/srl-nuces/ctxdna/internal/compress/gzipx"
 )
 
+// genSpec configures the in-process grid build used when -grid is missing.
+type genSpec struct {
+	files, minKB, maxKB int
+	seed                int64
+}
+
 func main() {
 	var (
-		gridPath = flag.String("grid", "grid.csv", "grid CSV from cmd/experiment")
+		gridPath = flag.String("grid", "grid.csv", "grid CSV from cmd/experiment (generated here when missing)")
 		fig      = flag.Int("fig", 0, "figure number to regenerate (2-6, 8-16)")
 		table    = flag.Int("table", 0, "table number to regenerate (1 or 2)")
 		all      = flag.Bool("all", false, "regenerate everything")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel workers when generating a missing grid")
+		genFiles = flag.Int("gen-files", 48, "corpus files when generating a missing grid")
+		genMin   = flag.Int("gen-min-kb", 2, "smallest generated file in KB")
+		genMax   = flag.Int("gen-max-kb", 256, "largest generated file in KB")
+		genSeed  = flag.Int64("gen-seed", 2015, "corpus seed when generating a missing grid")
 	)
 	flag.Parse()
-	if err := run(*gridPath, *fig, *table, *all); err != nil {
+	gen := genSpec{files: *genFiles, minKB: *genMin, maxKB: *genMax, seed: *genSeed}
+	if err := run(*gridPath, *fig, *table, *all, *jobs, gen); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(gridPath string, fig, table int, all bool) error {
-	f, err := os.Open(gridPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	g, err := experiment.ReadCSV(f)
+func run(gridPath string, fig, table int, all bool, jobs int, gen genSpec) error {
+	g, err := loadGrid(gridPath, jobs, gen)
 	if err != nil {
 		return err
 	}
@@ -69,6 +86,40 @@ func run(gridPath string, fig, table int, all bool) error {
 		return renderTable(g, table)
 	}
 	return fmt.Errorf("pass -fig N, -table N or -all")
+}
+
+// loadGrid reads the grid CSV, or — when the file does not exist — builds
+// the grid in-process with the parallel pipeline and persists it for reuse.
+func loadGrid(gridPath string, jobs int, gen genSpec) (*experiment.Grid, error) {
+	f, err := os.Open(gridPath)
+	if err == nil {
+		defer f.Close()
+		return experiment.ReadCSV(f)
+	}
+	if !os.IsNotExist(err) {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "figures: %s missing, generating %d files (%d..%d KB, seed %d, jobs=%d)\n",
+		gridPath, gen.files, gen.minKB, gen.maxKB, gen.seed, jobs)
+	files := synth.ExperimentCorpus(synth.CorpusSpec{
+		NumFiles: gen.files, MinSize: gen.minKB << 10, MaxSize: gen.maxKB << 10, Seed: gen.seed,
+	})
+	codecs := []string{"ctw", "dnax", "gencompress", "gzip"}
+	cache := compress.NewCache()
+	g, err := experiment.RunParallelCached(context.Background(), files, cloud.Grid(), codecs, experiment.DefaultNoise(), jobs, cache)
+	if err != nil {
+		return nil, err
+	}
+	out, err := os.Create(gridPath)
+	if err != nil {
+		return nil, err
+	}
+	defer out.Close()
+	if err := g.WriteCSV(out); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "figures: wrote %s for reuse\n", gridPath)
+	return g, nil
 }
 
 func renderFigure(g *experiment.Grid, n int) error {

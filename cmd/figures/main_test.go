@@ -10,6 +10,9 @@ import (
 	"github.com/srl-nuces/ctxdna/internal/synth"
 )
 
+// testGen is a tiny generation spec for tests that hit the missing-grid path.
+var testGen = genSpec{files: 3, minKB: 2, maxKB: 4, seed: 3}
+
 // writeGrid builds a compact grid CSV for CLI tests.
 func writeGrid(t *testing.T) string {
 	t.Helper()
@@ -42,16 +45,16 @@ func TestRenderEveryFigure(t *testing.T) {
 	defer func() { os.Stdout = old; devnull.Close() }()
 
 	for _, fig := range []int{2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15, 16} {
-		if err := run(grid, fig, 0, false); err != nil {
+		if err := run(grid, fig, 0, false, 1, testGen); err != nil {
 			t.Errorf("fig %d: %v", fig, err)
 		}
 	}
 	for _, table := range []int{1, 2} {
-		if err := run(grid, 0, table, false); err != nil {
+		if err := run(grid, 0, table, false, 1, testGen); err != nil {
 			t.Errorf("table %d: %v", table, err)
 		}
 	}
-	if err := run(grid, 0, 0, true); err != nil {
+	if err := run(grid, 0, 0, true, 1, testGen); err != nil {
 		t.Errorf("-all: %v", err)
 	}
 }
@@ -63,21 +66,52 @@ func TestRenderErrors(t *testing.T) {
 	os.Stdout = devnull
 	defer func() { os.Stdout = old; devnull.Close() }()
 
-	if err := run(grid, 99, 0, false); err == nil {
+	if err := run(grid, 99, 0, false, 1, testGen); err == nil {
 		t.Error("unknown figure accepted")
 	}
-	if err := run(grid, 0, 9, false); err == nil {
+	if err := run(grid, 0, 9, false, 1, testGen); err == nil {
 		t.Error("unknown table accepted")
 	}
-	if err := run(grid, 0, 0, false); err == nil {
+	if err := run(grid, 0, 0, false, 1, testGen); err == nil {
 		t.Error("no selection accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.csv"), 2, 0, false); err == nil {
-		t.Error("missing grid accepted")
+	// A missing grid in an unwritable location cannot be generated-and-saved.
+	if err := run(filepath.Join(t.TempDir(), "no", "such", "dir", "missing.csv"), 2, 0, false, 1, testGen); err == nil {
+		t.Error("unwritable grid path accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.csv")
 	os.WriteFile(bad, []byte("not,a,grid\n1,2,3\n"), 0o644)
-	if err := run(bad, 2, 0, false); err == nil {
+	if err := run(bad, 2, 0, false, 1, testGen); err == nil {
 		t.Error("malformed grid accepted")
+	}
+}
+
+// TestGenerateMissingGrid: with no CSV on disk, figures builds the grid
+// in-process through the parallel pipeline, persists it, and renders.
+func TestGenerateMissingGrid(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	gridPath := filepath.Join(t.TempDir(), "fresh.csv")
+	if err := run(gridPath, 2, 0, false, 2, testGen); err != nil {
+		t.Fatalf("generate+render: %v", err)
+	}
+	f, err := os.Open(gridPath)
+	if err != nil {
+		t.Fatalf("generated grid not persisted: %v", err)
+	}
+	defer f.Close()
+	g, err := experiment.ReadCSV(f)
+	if err != nil {
+		t.Fatalf("persisted grid unreadable: %v", err)
+	}
+	if len(g.Files) != testGen.files || len(g.Contexts) != len(cloud.Grid()) {
+		t.Fatalf("generated grid shape: %d files, %d contexts", len(g.Files), len(g.Contexts))
+	}
+	// Second invocation must read the persisted CSV, not regenerate.
+	if err := run(gridPath, 0, 2, false, 1, genSpec{}); err != nil {
+		t.Fatalf("re-render from persisted grid: %v", err)
 	}
 }

@@ -1,0 +1,126 @@
+package compress
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+)
+
+// Result is one cached compression outcome: the compressed stream plus the
+// modeled cost of producing and reversing it. Entries are only stored after
+// a verified round-trip, so a cache hit is as trustworthy as a fresh run.
+type Result struct {
+	// Data is the compressed stream. Treat it as read-only: hits return the
+	// stored slice without copying.
+	Data []byte
+	// Bases is the original sequence length, kept as a collision tripwire.
+	Bases         int
+	CompressStats Stats
+	DecompStats   Stats
+}
+
+// Key identifies a cache entry: codec identity × content hash. Two inputs
+// with the same bytes share an entry under the same codec and never across
+// codecs.
+type Key struct {
+	Codec string
+	Sum   [sha256.Size]byte
+}
+
+// ContentKey builds the cache key for compressing src with the named codec.
+func ContentKey(codec string, src []byte) Key {
+	return Key{Codec: codec, Sum: sha256.Sum256(src)}
+}
+
+// Cache is a concurrency-safe, content-addressed store of compression
+// results. Repeated sweeps over the same corpus (figure regeneration, weight
+// sweeps, batch jobs with duplicate inputs) hit it instead of recompressing.
+type Cache struct {
+	mu     sync.RWMutex
+	m      map[Key]Result
+	hits   uint64
+	misses uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[Key]Result)}
+}
+
+// Get returns the entry for k, counting a hit or miss. Nil caches always
+// miss, so callers can thread an optional cache without nil checks.
+func (c *Cache) Get(k Key) (Result, bool) {
+	if c == nil {
+		return Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+// Put stores r under k, copying the compressed bytes so later caller-side
+// mutation cannot corrupt the entry. Nil caches drop the entry.
+func (c *Cache) Put(k Key, r Result) {
+	if c == nil {
+		return
+	}
+	r.Data = append([]byte(nil), r.Data...)
+	c.mu.Lock()
+	c.m[k] = r
+	c.mu.Unlock()
+}
+
+// Len reports the number of stored entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Counters reports lifetime hits and misses.
+func (c *Cache) Counters() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}
+
+// CompressCached returns the cached result for (codec, src) or compresses
+// src with a fresh codec instance, verifies the round-trip byte-for-byte,
+// stores the outcome, and returns it. cache may be nil (always compresses).
+func CompressCached(cache *Cache, codecName string, src []byte) (Result, error) {
+	key := ContentKey(codecName, src)
+	if r, ok := cache.Get(key); ok && r.Bases == len(src) {
+		return r, nil
+	}
+	c, err := New(codecName)
+	if err != nil {
+		return Result{}, err
+	}
+	data, cst, err := c.Compress(src)
+	if err != nil {
+		return Result{}, err
+	}
+	restored, dst, err := c.Decompress(data)
+	if err != nil {
+		return Result{}, fmt.Errorf("decompress: %w", err)
+	}
+	if !bytes.Equal(restored, src) {
+		return Result{}, fmt.Errorf("round-trip mismatch: %d bases in, %d out", len(src), len(restored))
+	}
+	r := Result{Data: data, Bases: len(src), CompressStats: cst, DecompStats: dst}
+	cache.Put(key, r)
+	return r, nil
+}

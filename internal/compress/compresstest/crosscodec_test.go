@@ -1,0 +1,36 @@
+package compresstest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/compress/compresstest"
+
+	_ "github.com/srl-nuces/ctxdna/internal/compress/biocompress"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/ctw"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/dnacompress"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/dnapack"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/dnax"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/gencompress"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/gzipx"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/twobit"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/xm"
+)
+
+// TestCrossCodecDegenerateParallel closes the conformance gap where only
+// some codec packages exercised degenerate inputs: every registered codec
+// round-trips the full mixed-case/N-containing table through the parallel
+// harness, sequentially and fanned out.
+func TestCrossCodecDegenerateParallel(t *testing.T) {
+	names := compress.Names()
+	if len(names) < 9 {
+		t.Fatalf("only %d codecs registered: %v", len(names), names)
+	}
+	for _, jobs := range []int{1, 4} {
+		jobs := jobs
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			compresstest.CrossCodecParallel(t, names, jobs)
+		})
+	}
+}

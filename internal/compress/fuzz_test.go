@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/synth"
 
 	_ "github.com/srl-nuces/ctxdna/internal/compress/dnacompress"
 	_ "github.com/srl-nuces/ctxdna/internal/compress/dnapack"
@@ -48,6 +49,78 @@ func FuzzDecompressAll(f *testing.F) {
 			if err == nil && len(out) > 1<<26 {
 				t.Fatalf("%s: decompressed %d bytes from %d-byte garbage", name, len(out), len(data))
 			}
+		}
+	})
+}
+
+// FuzzCacheKey exercises the result-cache key path: identical content must
+// hit, different content must miss, and a hit must never hand back a stale
+// stream — the cached bytes always decompress to exactly the keyed content.
+// Seeds are the standard-benchmark corpus names (chmpxx, humdyst, ...), the
+// identifiers real sweeps hash file content under.
+func FuzzCacheKey(f *testing.F) {
+	for _, p := range synth.Benchmark() {
+		f.Add([]byte(p.Name))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 1<<12 {
+			return
+		}
+		src := make([]byte, len(raw))
+		for i, b := range raw {
+			src[i] = b & 3
+		}
+		const codec = "dnapack"
+		cache := compress.NewCache()
+
+		r1, err := compress.CompressCached(cache, codec, src)
+		if err != nil {
+			t.Fatalf("cold compress: %v", err)
+		}
+		r2, err := compress.CompressCached(cache, codec, src)
+		if err != nil {
+			t.Fatalf("warm compress: %v", err)
+		}
+		hits, misses := cache.Counters()
+		if hits != 1 || misses != 1 {
+			t.Fatalf("same content: %d hits %d misses, want 1 and 1", hits, misses)
+		}
+		if !bytes.Equal(r1.Data, r2.Data) {
+			t.Fatal("hit returned different bytes than the cold run")
+		}
+		// Never a stale round-trip: the cached stream restores src exactly.
+		c, err := compress.New(codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, _, err := c.Decompress(r2.Data)
+		if err != nil {
+			t.Fatalf("decompress cached stream: %v", err)
+		}
+		if !bytes.Equal(restored, src) {
+			t.Fatalf("stale round-trip: %d bases keyed, %d restored", len(src), len(restored))
+		}
+
+		// Different content (one symbol flipped, or grown) must miss.
+		other := append([]byte(nil), src...)
+		if len(other) > 0 {
+			other[0] ^= 1
+		} else {
+			other = []byte{1}
+		}
+		if _, err := compress.CompressCached(cache, codec, other); err != nil {
+			t.Fatalf("compress variant: %v", err)
+		}
+		if _, misses := cache.Counters(); misses != 2 {
+			t.Fatalf("different content: %d misses, want 2", misses)
+		}
+		if compress.ContentKey(codec, src) == compress.ContentKey(codec, other) {
+			t.Fatal("distinct content mapped to one key")
+		}
+		if compress.ContentKey(codec, src) == compress.ContentKey("xm", src) {
+			t.Fatal("distinct codecs share a key")
 		}
 	})
 }

@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -95,41 +96,10 @@ func hashUnit(seed uint64, parts ...string) float64 {
 }
 
 // Run compresses every corpus file with every codec once (reference-core
-// stats are context-independent) and expands the grid across contexts.
+// stats are context-independent) and expands the grid across contexts. It
+// is the sequential special case of RunParallel (jobs = 1).
 func Run(files []synth.File, contexts []cloud.VM, codecs []string, noise NoiseConfig) (*Grid, error) {
-	if len(files) == 0 || len(contexts) == 0 || len(codecs) == 0 {
-		return nil, fmt.Errorf("experiment: empty files, contexts or codecs")
-	}
-	g := &Grid{Codecs: codecs, Contexts: contexts}
-	for _, f := range files {
-		fr := FileResult{Name: f.Name, Bases: len(f.Data)}
-		for _, name := range codecs {
-			c, err := compress.New(name)
-			if err != nil {
-				return nil, err
-			}
-			data, cst, err := c.Compress(f.Data)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s on %s: %w", name, f.Name, err)
-			}
-			restored, dst, err := c.Decompress(data)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s decompress on %s: %w", name, f.Name, err)
-			}
-			if len(restored) != len(f.Data) {
-				return nil, fmt.Errorf("experiment: %s round-trip length mismatch on %s", name, f.Name)
-			}
-			fr.Runs = append(fr.Runs, CodecRun{
-				Codec:          name,
-				CompressedSize: len(data),
-				CompressStats:  cst,
-				DecompStats:    dst,
-			})
-		}
-		g.Files = append(g.Files, fr)
-	}
-	g.expand(noise)
-	return g, nil
+	return RunParallel(context.Background(), files, contexts, codecs, noise, 1)
 }
 
 // expand builds the (file × context) rows with noise applied.

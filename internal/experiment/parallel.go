@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"github.com/srl-nuces/ctxdna/internal/cloud"
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+// RunError attributes one failed compression run to its file and codec.
+type RunError struct {
+	File  string
+	Codec string
+	Err   error
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("experiment: %s on %s: %v", e.Codec, e.File, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// RunErrors aggregates every run failure of a parallel grid build. The
+// first failure cancels the remaining work, so the slice usually holds one
+// entry, but in-flight workers may contribute more.
+type RunErrors []*RunError
+
+func (es RunErrors) Error() string {
+	switch len(es) {
+	case 0:
+		return "experiment: no errors"
+	case 1:
+		return es[0].Error()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "experiment: %d runs failed: ", len(es))
+	for i, e := range es {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		fmt.Fprintf(&sb, "%s on %s: %v", e.Codec, e.File, e.Err)
+	}
+	return sb.String()
+}
+
+// Unwrap exposes the individual failures to errors.Is / errors.As.
+func (es RunErrors) Unwrap() []error {
+	out := make([]error, len(es))
+	for i, e := range es {
+		out[i] = e
+	}
+	return out
+}
+
+// RunParallel builds the experiment grid with a bounded worker pool fanning
+// out the (file × codec) compression/decompression runs. jobs <= 0 means
+// runtime.GOMAXPROCS(0); jobs == 1 reproduces the sequential path exactly.
+//
+// Determinism: results land in slots indexed by (file, codec) position, not
+// appended on completion, so the returned Grid — rows, measurements, labels,
+// CSV export — is byte-identical regardless of jobs or scheduling.
+//
+// Cancellation: the first failing run cancels ctx for the whole pool; the
+// aggregated RunErrors names each failed (file, codec) pair. External
+// cancellation via ctx returns ctx.Err() promptly. All workers have exited
+// by the time RunParallel returns.
+func RunParallel(ctx context.Context, files []synth.File, contexts []cloud.VM, codecs []string, noise NoiseConfig, jobs int) (*Grid, error) {
+	return RunParallelCached(ctx, files, contexts, codecs, noise, jobs, nil)
+}
+
+// RunParallelCached is RunParallel with a content-hash keyed result cache:
+// a (codec, content) pair already in the cache skips recompression, so
+// repeated sweeps over the same corpus cost one compression pass total.
+// cache may be nil.
+func RunParallelCached(ctx context.Context, files []synth.File, contexts []cloud.VM, codecs []string, noise NoiseConfig, jobs int, cache *compress.Cache) (*Grid, error) {
+	if len(files) == 0 || len(contexts) == 0 || len(codecs) == 0 {
+		return nil, fmt.Errorf("experiment: empty files, contexts or codecs")
+	}
+	// Fail on unknown codec names before spinning up any workers.
+	for _, name := range codecs {
+		if _, err := compress.New(name); err != nil {
+			return nil, err
+		}
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	nTasks := len(files) * len(codecs)
+	if jobs > nTasks {
+		jobs = nTasks
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// One slot per (file, codec): workers write disjoint indices, so the
+	// assembly below needs no ordering information from the scheduler.
+	type task struct{ fi, ci int }
+	runs := make([]CodecRun, nTasks)
+	errs := make([]*RunError, nTasks)
+	tasks := make(chan task)
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				f := files[tk.fi]
+				name := codecs[tk.ci]
+				slot := tk.fi*len(codecs) + tk.ci
+				r, err := compress.CompressCached(cache, name, f.Data)
+				if err != nil {
+					errs[slot] = &RunError{File: f.Name, Codec: name, Err: err}
+					cancel() // abort the rest of the grid promptly
+					continue
+				}
+				runs[slot] = CodecRun{
+					Codec:          name,
+					CompressedSize: len(r.Data),
+					CompressStats:  r.CompressStats,
+					DecompStats:    r.DecompStats,
+				}
+			}
+		}()
+	}
+
+feed:
+	for fi := range files {
+		for ci := range codecs {
+			select {
+			case tasks <- task{fi, ci}:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+
+	var failed RunErrors
+	for _, e := range errs {
+		if e != nil {
+			failed = append(failed, e)
+		}
+	}
+	if len(failed) > 0 {
+		return nil, failed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	g := &Grid{Codecs: codecs, Contexts: contexts}
+	for fi, f := range files {
+		g.Files = append(g.Files, FileResult{
+			Name:  f.Name,
+			Bases: len(f.Data),
+			Runs:  append([]CodecRun(nil), runs[fi*len(codecs):(fi+1)*len(codecs)]...),
+		})
+	}
+	g.expand(noise)
+	return g, nil
+}
