@@ -1,0 +1,39 @@
+# Development entry points. CI (.github/workflows/ci.yml) runs exactly
+# these commands; `make verify` is the full local gate.
+
+GO ?= go
+
+.PHONY: all build lint test race fuzz-smoke fmt verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Static analysis: gofmt over the whole tree (examples/ included), the
+# toolchain's vet suite, and dnalint — the repo-invariant analyzers
+# (determinism, errtaxonomy, registerinit, ctxprop, statsadd) — driven
+# through `go vet -vettool` so it sees the same build graph vet does.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build -o bin/dnalint ./cmd/dnalint
+	$(GO) vet -vettool=$(CURDIR)/bin/dnalint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A few seconds per fuzz target: catches shallow decode/cache regressions
+# without a long campaign. `go test` accepts one -fuzz pattern per run.
+fuzz-smoke:
+	$(GO) test ./internal/compress -run='^$$' -fuzz=FuzzRoundTripAll -fuzztime=5s
+	$(GO) test ./internal/compress -run='^$$' -fuzz=FuzzDecompressAll -fuzztime=5s
+	$(GO) test ./internal/compress -run='^$$' -fuzz=FuzzCacheKey -fuzztime=5s
+
+fmt:
+	gofmt -w .
+
+verify: lint build race

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/lint"
+)
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+// buildTool compiles dnalint once per test binary into a shared temp dir.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "dnalint")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "dnalint")
+		cmd := exec.Command("go", "build", "-o", binPath, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			t.Logf("go build: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building dnalint: %v", buildErr)
+	}
+	return binPath
+}
+
+// TestStandaloneRepoClean runs the built binary over the whole module the
+// way the Makefile lint target does.
+func TestStandaloneRepoClean(t *testing.T) {
+	bin := buildTool(t)
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("dnalint ./... failed: %v\n%s", err, out)
+	}
+}
+
+// TestVetToolProtocol exercises the go vet handshake (-V=full, -flags) and
+// a real `go vet -vettool` run over a codec package, proving the tool
+// speaks the unit-checking protocol end to end.
+func TestVetToolProtocol(t *testing.T) {
+	bin := buildTool(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) < 3 || fields[1] != "version" {
+		t.Fatalf("-V=full output %q does not match the tool-ID shape", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Fatalf("-flags = %q, want []", out)
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/compress/...")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over a clean tree failed: %v\n%s", err, out)
+	}
+}
+
+// TestVetToolFindsViolation plants an errtaxonomy violation in a scratch
+// module that mirrors this repository's module path and asserts the vet
+// run fails with the expected diagnostic — the same failure CI would show
+// if a satellite fix were reverted.
+func TestVetToolFindsViolation(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module "+lint.ModulePath+"\n\ngo 1.22\n")
+	write("internal/compress/compress.go", `package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrCorrupt = errors.New("compress: corrupt stream")
+
+func Corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+`)
+	write("internal/compress/badcodec/badcodec.go", `package badcodec
+
+import "fmt"
+
+func Decompress(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("badcodec: empty stream")
+	}
+	return data, nil
+}
+`)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed over a planted violation:\n%s", out)
+	}
+	if !strings.Contains(string(out), "errtaxonomy") {
+		t.Fatalf("vet output missing errtaxonomy diagnostic:\n%s", out)
+	}
+}

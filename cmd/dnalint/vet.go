@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"github.com/srl-nuces/ctxdna/internal/lint"
+)
+
+// vetConfig mirrors the JSON unit file the go command hands a vet tool for
+// each package in the build graph (the x/tools unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one build unit under `go vet -vettool=dnalint`.
+// Dependency types come from the compiler's export data (cfg.PackageFile),
+// so this path needs no source re-type-checking of the closure.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnalint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dnalint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts file to exist for downstream
+	// units. The suite exports no facts, so an empty file suffices.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "dnalint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Test variants arrive as "path [path.test]"; scope-match the real path.
+	path := cfg.ImportPath
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+
+	fset := token.NewFileSet()
+	imp := lint.NewVetImporter(fset, cfg.Compiler, cfg.ImportMap, cfg.PackageFile)
+	pkg, err := lint.LoadForVet(fset, path, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "dnalint:", err)
+		return 1
+	}
+	diags := lint.RunPackage(pkg, lint.All())
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

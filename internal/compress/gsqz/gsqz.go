@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"github.com/srl-nuces/ctxdna/internal/bitio"
+	"github.com/srl-nuces/ctxdna/internal/compress"
 	"github.com/srl-nuces/ctxdna/internal/huffman"
 	"github.com/srl-nuces/ctxdna/internal/seq"
 )
@@ -125,36 +126,36 @@ func Decompress(data []byte) ([]seq.FASTQRecord, error) {
 	}
 	nRecs, err := readUvarint()
 	if err != nil {
-		return nil, fmt.Errorf("gsqz: record count: %w", err)
+		return nil, compress.Corruptf("gsqz: record count: %v", err)
 	}
 	if nRecs > 1<<30 {
-		return nil, fmt.Errorf("gsqz: implausible record count %d", nRecs)
+		return nil, compress.Corruptf("gsqz: implausible record count %d", nRecs)
 	}
 	recs := make([]seq.FASTQRecord, nRecs)
 	var totalBases uint64
 	for i := range recs {
 		idLen, err := readUvarint()
 		if err != nil {
-			return nil, fmt.Errorf("gsqz: id length: %w", err)
+			return nil, compress.Corruptf("gsqz: id length: %v", err)
 		}
 		if idLen > 1<<20 {
-			return nil, fmt.Errorf("gsqz: implausible id length %d", idLen)
+			return nil, compress.Corruptf("gsqz: implausible id length %d", idLen)
 		}
 		id := make([]byte, idLen)
 		for j := range id {
 			b, err := r.ReadByte()
 			if err != nil {
-				return nil, fmt.Errorf("gsqz: id bytes: %w", err)
+				return nil, compress.Corruptf("gsqz: id bytes: %v", err)
 			}
 			id[j] = b
 		}
 		recs[i].ID = string(id)
 		readLen, err := readUvarint()
 		if err != nil {
-			return nil, fmt.Errorf("gsqz: read length: %w", err)
+			return nil, compress.Corruptf("gsqz: read length: %v", err)
 		}
 		if readLen > 1<<28 {
-			return nil, fmt.Errorf("gsqz: implausible read length %d", readLen)
+			return nil, compress.Corruptf("gsqz: implausible read length %d", readLen)
 		}
 		recs[i].Seq = make([]byte, readLen)
 		recs[i].Qual = make([]byte, readLen)
@@ -162,22 +163,22 @@ func Decompress(data []byte) ([]seq.FASTQRecord, error) {
 	}
 	nClasses, err := readUvarint()
 	if err != nil {
-		return nil, fmt.Errorf("gsqz: class count: %w", err)
+		return nil, compress.Corruptf("gsqz: class count: %v", err)
 	}
 	if nClasses > maxQualityClasses {
-		return nil, fmt.Errorf("gsqz: %d quality classes exceeds %d", nClasses, maxQualityClasses)
+		return nil, compress.Corruptf("gsqz: %d quality classes exceeds %d", nClasses, maxQualityClasses)
 	}
 	classToQual := make([]byte, nClasses)
 	for i := range classToQual {
 		b, err := r.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("gsqz: quality dictionary: %w", err)
+			return nil, compress.Corruptf("gsqz: quality dictionary: %v", err)
 		}
 		classToQual[i] = b
 	}
 	if nClasses == 0 {
 		if totalBases != 0 {
-			return nil, fmt.Errorf("gsqz: %d bases but empty quality dictionary", totalBases)
+			return nil, compress.Corruptf("gsqz: %d bases but empty quality dictionary", totalBases)
 		}
 		return recs, nil
 	}
@@ -185,27 +186,27 @@ func Decompress(data []byte) ([]seq.FASTQRecord, error) {
 	for i := range lens {
 		b, err := r.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("gsqz: length table: %w", err)
+			return nil, compress.Corruptf("gsqz: length table: %v", err)
 		}
 		lens[i] = b
 	}
 	table, err := huffman.FromLengths(&lens)
 	if err != nil {
-		return nil, fmt.Errorf("gsqz: %w", err)
+		return nil, compress.Corruptf("gsqz: %v", err)
 	}
 	if _, err := readUvarint(); err != nil { // payload bit count (framing aid)
-		return nil, fmt.Errorf("gsqz: payload size: %w", err)
+		return nil, compress.Corruptf("gsqz: payload size: %v", err)
 	}
 	dec := huffman.NewDecoder(table)
 	for i := range recs {
 		for j := range recs[i].Seq {
 			joint, err := dec.Decode(r)
 			if err != nil {
-				return nil, fmt.Errorf("gsqz: payload: %w", err)
+				return nil, compress.Corruptf("gsqz: payload: %v", err)
 			}
 			cls := int(joint >> 2)
 			if cls >= len(classToQual) {
-				return nil, fmt.Errorf("gsqz: joint symbol references class %d of %d", cls, len(classToQual))
+				return nil, compress.Corruptf("gsqz: joint symbol references class %d of %d", cls, len(classToQual))
 			}
 			recs[i].Seq[j] = seq.Base(joint & 3)
 			recs[i].Qual[j] = classToQual[cls]

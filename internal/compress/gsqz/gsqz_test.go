@@ -2,10 +2,13 @@ package gsqz
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
 
+	"github.com/srl-nuces/ctxdna/internal/compress"
 	"github.com/srl-nuces/ctxdna/internal/seq"
 	"github.com/srl-nuces/ctxdna/internal/synth"
 )
@@ -164,6 +167,26 @@ func BenchmarkCompress(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Compress(recs); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestCorruptStreamTaxonomy: decode-side failures must classify as
+// compress.ErrCorrupt so round-trip verification and the result cache can
+// tell corruption apart from operational errors (dnalint: errtaxonomy).
+func TestCorruptStreamTaxonomy(t *testing.T) {
+	var implausibleCount [binary.MaxVarintLen64]byte
+	binary.PutUvarint(implausibleCount[:], 1<<40)
+	for name, data := range map[string][]byte{
+		"implausible record count": implausibleCount[:],
+		"garbage":                  {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+	} {
+		_, err := Decompress(data)
+		if err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+		if !errors.Is(err, compress.ErrCorrupt) {
+			t.Errorf("%s: error %v is outside the ErrCorrupt taxonomy", name, err)
 		}
 	}
 }

@@ -1,0 +1,45 @@
+package compress_test
+
+import (
+	"regexp"
+	"sort"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+)
+
+// TestRegistryInvariants pins the enumeration contract dnalint's
+// registerinit analyzer guards statically: codec names are lowercase
+// alphanumeric, unique, sorted, and the enumeration is stable — grid
+// columns, CSV headers and cache keys all assume it.
+func TestRegistryInvariants(t *testing.T) {
+	nameRE := regexp.MustCompile(`^[a-z0-9]+$`)
+
+	first := compress.Names()
+	if len(first) == 0 {
+		t.Fatal("no codecs registered")
+	}
+	if !sort.StringsAreSorted(first) {
+		t.Errorf("Names() not sorted: %v", first)
+	}
+	seen := map[string]bool{}
+	for _, n := range first {
+		if !nameRE.MatchString(n) {
+			t.Errorf("codec name %q is not lowercase alphanumeric", n)
+		}
+		if seen[n] {
+			t.Errorf("codec name %q enumerated twice", n)
+		}
+		seen[n] = true
+	}
+
+	second := compress.Names()
+	if len(second) != len(first) {
+		t.Fatalf("enumeration unstable: %d then %d names", len(first), len(second))
+	}
+	for i := range first {
+		if second[i] != first[i] {
+			t.Fatalf("enumeration unstable at %d: %q then %q", i, first[i], second[i])
+		}
+	}
+}

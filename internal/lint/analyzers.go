@@ -1,0 +1,12 @@
+package lint
+
+// All returns the full dnalint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxProp,
+		Determinism,
+		ErrTaxonomy,
+		RegisterInit,
+		StatsAdd,
+	}
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism guards the measurement pipeline's byte-for-byte
+// reproducibility: the same (file × context × codec) grid must come out
+// identical on every run and for any -jobs value. Wall-clock reads,
+// unseeded global randomness and map-iteration order are the three ways a
+// refactor silently breaks that.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: `flags nondeterminism sources in measurement-path packages:
+time.Now / time.Since calls, unseeded global math/rand functions, and
+map-range loops whose bodies feed slices or writers without a subsequent
+sort. Scope: internal/compress/..., internal/experiment, internal/cloud,
+internal/synth (non-test files).`,
+	Scope: scopeUnder("internal/compress", "internal/experiment", "internal/cloud", "internal/synth"),
+	Run:   runDeterminism,
+}
+
+// seededRandFuncs are the math/rand entry points that construct explicitly
+// seeded generators; everything else at package level draws from the
+// global, nondeterministically-scheduled source.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(pass *Pass) {
+	for _, file := range pass.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, stack)
+			}
+			return true
+		})
+	}
+}
+
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (e.g. *rand.Rand.Intn) are fine: the receiver was seeded
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(), "time.%s in a measurement path: results must not depend on wall clock; use the modeled cost figures (compress.Stats) or thread an explicit timestamp", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "rand.%s draws from the unseeded global source; use rand.New(rand.NewSource(seed)) so runs reproduce", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for ... range m` over a map whose body appends to a
+// slice that is never sorted afterwards in the same function, or writes
+// directly to an output sink — both leak random iteration order into
+// results.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	var appendTargets []types.Object
+	wroteOutput := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.Info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				if obj := objectOf(pass.Info, n.Lhs[i]); obj != nil {
+					appendTargets = append(appendTargets, obj)
+				}
+			}
+		case *ast.CallExpr:
+			if isOutputCall(pass.Info, n) {
+				wroteOutput = true
+			}
+		}
+		return true
+	})
+
+	if wroteOutput {
+		pass.Reportf(rng.Pos(), "map iteration order is random but this range writes output directly; collect the keys, sort them, then iterate")
+		return
+	}
+	if len(appendTargets) == 0 {
+		return
+	}
+	if fn := enclosingFunc(stack); fn != nil && sortedAfter(pass.Info, fn, rng, appendTargets) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order is random but this range appends to a slice that is never sorted; sort it before use (cf. compress.Names)")
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// outputMethodNames are io.Writer-shaped sinks; emitting during a map range
+// bakes random order into the output stream.
+var outputMethodNames = map[string]bool{"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true}
+
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return outputMethodNames[fn.Name()]
+	}
+	return false
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function calls a sort/slices ordering function on one of the append
+// targets — the canonical collect-then-sort idiom.
+func sortedAfter(info *types.Info, fn ast.Node, rng *ast.RangeStmt, targets []types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			referenced := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					obj := info.Uses[id]
+					for _, t := range targets {
+						if obj == t {
+							referenced = true
+						}
+					}
+				}
+				return !referenced
+			})
+			if referenced {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// LintModule locates the module containing dir, loads every package
+// matched by the go-style patterns (default "./...") and runs the full
+// analyzer suite. Patterns are resolved relative to dir.
+func LintModule(dir string, patterns []string) ([]Diagnostic, error) {
+	moduleDir, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	all, err := loader.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	paths, err := matchPatterns(loader, dir, all, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, RunPackage(pkg, All())...)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// FindModuleRoot walks up from dir to the directory holding go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// matchPatterns filters the module's package paths by go-style patterns:
+// "./...", "<dir>/...", or a plain package directory.
+func matchPatterns(l *Loader, dir string, all, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	keep := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		abs, err := filepath.Abs(filepath.Join(dir, pat))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(l.ModuleDir, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: pattern %q escapes module %s", pat, l.ModuleDir)
+		}
+		want := l.ModulePath
+		if rel != "." {
+			want = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		matched := false
+		for _, p := range all {
+			if p == want || (recursive && strings.HasPrefix(p, want+"/")) || (recursive && want == l.ModulePath) {
+				keep[p] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+		}
+	}
+	var out []string
+	for _, p := range all {
+		if keep[p] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrTaxonomy guards the corrupt-stream error taxonomy. Round-trip
+// verification, the result cache and the fuzz harness all classify decode
+// failures with errors.Is(err, compress.ErrCorrupt); a bare fmt.Errorf in a
+// Decompress path mints an error outside that taxonomy and the failure
+// stops being recognizable as corruption.
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc: `flags fmt.Errorf calls reachable from a Decompress function whose
+format neither wraps with %w nor goes through compress.Corruptf, so
+errors.Is(err, compress.ErrCorrupt) keeps classifying corrupt streams.
+Scope: internal/compress and its codec subpackages.`,
+	Scope: scopeUnder("internal/compress"),
+	Run:   runErrTaxonomy,
+}
+
+func runErrTaxonomy(pass *Pass) {
+	// Map each package-level function object to its declaration so the
+	// reachability walk can follow same-package calls.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+			if fd.Name.Name == "Decompress" {
+				roots = append(roots, fd)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// Breadth-first over static same-package calls from the Decompress
+	// roots. Function literals inside a reachable declaration are part of
+	// its body and are walked with it.
+	reachable := map[*ast.FuncDecl]bool{}
+	queue := append([]*ast.FuncDecl(nil), roots...)
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if reachable[fd] {
+			continue
+		}
+		reachable[fd] = true
+		ast.Inspect(fd, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if next, ok := decls[callee]; ok && !reachable[next] {
+				queue = append(queue, next)
+			}
+			return true
+		})
+	}
+
+	for fd := range reachable {
+		ast.Inspect(fd, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if !isPkgFunc(callee, "fmt", "Errorf") || len(call.Args) == 0 {
+				return true
+			}
+			format, known := constantString(pass.Info, call.Args[0])
+			switch {
+			case !known:
+				pass.Reportf(call.Pos(), "fmt.Errorf with non-constant format in a Decompress path; use compress.Corruptf so errors.Is(err, compress.ErrCorrupt) holds")
+			case !strings.Contains(format, "%w"):
+				pass.Reportf(call.Pos(), "error minted in a Decompress path without %%w or compress.Corruptf; corrupt streams become invisible to errors.Is(err, compress.ErrCorrupt)")
+			}
+			return true
+		})
+	}
+}
+
+// constantString evaluates e as a compile-time string constant.
+func constantString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// RegisterInit guards the codec registry's enumeration stability.
+// compress.Names feeds experiment grids, CSV columns and cache keys;
+// registration outside init (ordering then depends on call sites) or under
+// a computed name (the set depends on runtime state) would make the
+// enumeration unstable between runs and builds.
+var RegisterInit = &Analyzer{
+	Name: "registerinit",
+	Doc: `requires every compress.Register call to appear directly inside a
+func init() body with a constant lowercase-alphanumeric name literal, so
+the registry contents are a build-time property.`,
+	Run: runRegisterInit,
+}
+
+var codecNameRE = regexp.MustCompile(`^[a-z0-9]+$`)
+
+func runRegisterInit(pass *Pass) {
+	for _, file := range pass.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if !isRegister(fn) {
+				return true
+			}
+			if !directlyInInit(stack) {
+				pass.Reportf(call.Pos(), "compress.Register must be called directly from func init(); registering at runtime makes the codec enumeration unstable")
+			}
+			if len(call.Args) > 0 {
+				name, known := constantString(pass.Info, call.Args[0])
+				switch {
+				case !known:
+					pass.Reportf(call.Args[0].Pos(), "compress.Register requires a constant string literal codec name; a computed name makes the registry contents a runtime property")
+				case !codecNameRE.MatchString(name):
+					pass.Reportf(call.Args[0].Pos(), "codec name %q must be lowercase alphanumeric to match CLI flags, CSV columns and cache keys", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isRegister(fn *types.Func) bool {
+	return isPkgFunc(fn, CompressPath, "Register")
+}
+
+// directlyInInit reports whether the innermost enclosing function is a
+// func init() declaration — with no function literal in between, which
+// would defer the call to whenever the literal runs.
+func directlyInInit(stack []ast.Node) bool {
+	fn := enclosingFunc(stack)
+	fd, ok := fn.(*ast.FuncDecl)
+	return ok && fd.Recv == nil && fd.Name.Name == "init"
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatsAdd guards compress.Stats accumulation semantics. WorkNS sums
+// across operations but PeakMem is a running maximum — the paper's
+// RAM_USED variable, which the cloud cost model feeds into RAM-pressure
+// scaling. Stats.Add encodes both; a direct field write at a call site
+// (`st.PeakMem += other.PeakMem`) silently turns the max into a sum and
+// inflates every memory figure downstream.
+var StatsAdd = &Analyzer{
+	Name: "statsadd",
+	Doc: `flags direct writes (=, +=, ++, ...) to compress.Stats fields
+outside the Stats methods themselves; accumulate through Stats.Add and
+construct fresh values with composite literals.`,
+	Run: runStatsAdd,
+}
+
+// statsFields are the Stats fields with accumulation semantics worth
+// protecting.
+var statsFields = map[string]bool{"WorkNS": true, "PeakMem": true}
+
+func runStatsAdd(pass *Pass) {
+	for _, file := range pass.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkStatsWrite(pass, lhs, stack)
+				}
+			case *ast.IncDecStmt:
+				checkStatsWrite(pass, n.X, stack)
+			}
+			return true
+		})
+	}
+}
+
+func checkStatsWrite(pass *Pass, lhs ast.Expr, stack []ast.Node) {
+	se, ok := unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	sel, ok := pass.Info.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := sel.Obj().(*types.Var)
+	if !ok || !statsFields[field.Name()] {
+		return
+	}
+	if !isCompressStats(sel.Recv()) {
+		return
+	}
+	if insideStatsMethod(pass, stack) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "direct write to compress.Stats.%s; accumulate via Stats.Add (PeakMem is a maximum, not a sum) or build a fresh Stats literal", field.Name())
+}
+
+func isCompressStats(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == CompressPath && obj.Name() == "Stats"
+}
+
+// insideStatsMethod reports whether the write happens inside a method whose
+// receiver is compress.Stats — the one place allowed to touch the fields.
+func insideStatsMethod(pass *Pass, stack []ast.Node) bool {
+	fd, ok := enclosingFunc(stack).(*ast.FuncDecl)
+	if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := pass.Info.Types[fd.Recv.List[0].Type]
+	return ok && isCompressStats(tv.Type)
+}

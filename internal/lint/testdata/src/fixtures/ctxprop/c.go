@@ -1,0 +1,57 @@
+// Package ctxprop is a dnalint fixture: worker fan-out must propagate the
+// caller's context instead of minting a fresh root.
+package ctxprop
+
+import (
+	"context"
+	"sync"
+)
+
+func fanOut(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(context.Background()) // want `function literal`
+		}()
+	}
+	wg.Wait()
+}
+
+func fanOutRight(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(ctx) // ok: captures the caller's context
+		}()
+	}
+	wg.Wait()
+}
+
+func shadowing(ctx context.Context) error {
+	ctx = context.Background() // want `already receives a ctx`
+	return work(ctx)
+}
+
+func launcher() {
+	ctx := context.TODO() // want `launches goroutines`
+	done := make(chan struct{})
+	go func() {
+		work(ctx)
+		close(done)
+	}()
+	<-done
+}
+
+// entryPoint mirrors the sequential experiment.Run wrapper: no ctx
+// parameter and no fan-out, so it may legitimately mint a root context.
+func entryPoint() error {
+	return work(context.Background())
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}

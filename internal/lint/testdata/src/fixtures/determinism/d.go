@@ -1,0 +1,79 @@
+// Package determinism is a dnalint fixture: each `want` comment marks an
+// expected diagnostic; lines without one must stay clean.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now`
+	return time.Since(start) // want `time\.Since`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `unseeded global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `unseeded global source`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) // ok: method on an explicitly seeded generator
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: collect-then-sort idiom
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceSortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: sorted through sort.Slice
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func printDirect(m map[string]int) {
+	for k, v := range m { // want `writes output directly`
+		fmt.Println(k, v)
+	}
+}
+
+func normalize(m map[string]float64) {
+	for k := range m { // ok: writes only back into the map
+		m[k] /= 2
+	}
+}
+
+func rangeSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs { // ok: slices iterate in order
+		out = append(out, x)
+	}
+	return out
+}
+
+func suppressed() time.Time {
+	//lint:ignore determinism fixture exercises the suppression directive
+	return time.Now()
+}

@@ -1,0 +1,40 @@
+// Package errtaxonomy is a dnalint fixture for the corrupt-stream error
+// taxonomy: fmt.Errorf reachable from Decompress must wrap with %w or go
+// through compress.Corruptf.
+package errtaxonomy
+
+import (
+	"fmt"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+)
+
+func Decompress(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("empty stream") // want `without %w or compress\.Corruptf`
+	}
+	if data[0] == 0xff {
+		return nil, compress.Corruptf("bad magic %x", data[0]) // ok: inside the taxonomy
+	}
+	payload, err := readPayload(data[1:])
+	if err != nil {
+		return nil, fmt.Errorf("payload: %w", err) // ok: wraps the cause
+	}
+	return payload, nil
+}
+
+// readPayload is reachable from Decompress, so its errors are decode-path
+// errors too.
+func readPayload(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("truncated payload") // want `without %w or compress\.Corruptf`
+	}
+	return data, nil
+}
+
+func Compress(src []byte) ([]byte, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("empty input") // ok: compress side, not a decode path
+	}
+	return append([]byte{0}, src...), nil
+}

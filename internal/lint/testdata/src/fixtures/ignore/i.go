@@ -1,0 +1,29 @@
+// Package ignore is a dnalint fixture for the //lint:ignore directive.
+// Only the reasonless directive at the bottom leaves its finding alive.
+package ignore
+
+import "time"
+
+func trailing() time.Time {
+	return time.Now() //lint:ignore determinism trailing-comment placement
+}
+
+func above() time.Time {
+	//lint:ignore determinism directive-above placement
+	return time.Now()
+}
+
+func allForm() time.Time {
+	//lint:ignore all blanket suppression
+	return time.Now()
+}
+
+func listForm() time.Time {
+	//lint:ignore ctxprop,determinism comma-separated analyzer list
+	return time.Now()
+}
+
+func reasonless() time.Time {
+	//lint:ignore determinism
+	return time.Now()
+}

@@ -1,0 +1,40 @@
+// Package statsadd is a dnalint fixture: compress.Stats fields are only
+// written by the Stats methods; call sites accumulate through Stats.Add.
+package statsadd
+
+import "github.com/srl-nuces/ctxdna/internal/compress"
+
+func accumulateWrong(runs []compress.Stats) compress.Stats {
+	var total compress.Stats
+	for _, st := range runs {
+		total.WorkNS += st.WorkNS   // want `Stats\.WorkNS`
+		total.PeakMem += st.PeakMem // want `Stats\.PeakMem`
+	}
+	return total
+}
+
+func accumulateRight(runs []compress.Stats) compress.Stats {
+	var total compress.Stats
+	for _, st := range runs {
+		total.Add(st) // ok: Add keeps PeakMem a maximum
+	}
+	return total
+}
+
+func fresh(work int64, peak int) compress.Stats {
+	return compress.Stats{WorkNS: work, PeakMem: peak} // ok: composite literal construction
+}
+
+func bump(st *compress.Stats) {
+	st.WorkNS++ // want `Stats\.WorkNS`
+}
+
+func reset(st *compress.Stats) {
+	st.PeakMem = 0 // want `Stats\.PeakMem`
+}
+
+type other struct{ WorkNS int64 }
+
+func unrelated(o *other) {
+	o.WorkNS += 1 // ok: same field name on an unrelated type
+}
