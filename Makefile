@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz-smoke fmt verify
+.PHONY: all build lint test race fuzz-smoke chaos fmt verify
 
 all: build
 
@@ -33,7 +33,13 @@ fuzz-smoke:
 	$(GO) test ./internal/compress -run='^$$' -fuzz=FuzzDecompressAll -fuzztime=5s
 	$(GO) test ./internal/compress -run='^$$' -fuzz=FuzzCacheKey -fuzztime=5s
 
+# Chaos gate: the fault-injection and exchange tests under -race, run
+# twice to prove the seeded fault schedules and retry backoff reproduce
+# exactly (same seed => byte-identical reports).
+chaos:
+	$(GO) test ./internal/cloud -race -count=2 -run 'Faulty|Exchange|Backoff'
+
 fmt:
 	gofmt -w .
 
-verify: lint build race
+verify: lint build race chaos

@@ -16,10 +16,18 @@
 // input next to it (or under -o DIR):
 //
 //	dnacomp -batch -codec dnax -jobs 8 -o out/ *.fa
+//
+// Exchange mode simulates the paper's full exchange loop — compress on the
+// client, upload to BLOB storage, download at the datacenter, decompress,
+// verify — optionally against a fault-injected store with seeded transient
+// failures and capped exponential retry backoff:
+//
+//	dnacomp -exchange -codec dnax -fault-rate 0.3 -retries 8 seq.fa
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +37,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/srl-nuces/ctxdna/internal/cloud"
 	"github.com/srl-nuces/ctxdna/internal/compress"
 	"github.com/srl-nuces/ctxdna/internal/seq"
 
@@ -53,12 +62,19 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress the stats line")
 		batch      = flag.Bool("batch", false, "compress every input file argument (one container each)")
 		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel workers in batch mode")
+		exchange   = flag.Bool("exchange", false, "simulate the full cloud exchange loop (compress, upload, download, decompress, verify)")
+		faultRate  = flag.Float64("fault-rate", 0, "transient-fault probability per storage op in exchange mode")
+		retries    = flag.Int("retries", cloud.DefaultRetryPolicy().MaxRetries, "retry budget per storage op in exchange mode")
+		faultSeed  = flag.Uint64("fault-seed", 2015, "seed for the fault schedule and retry jitter in exchange mode")
 	)
 	flag.Parse()
 	var err error
-	if *batch {
+	switch {
+	case *exchange:
+		err = runExchange(*codecName, *faultRate, *retries, *faultSeed, *quiet, flag.Args())
+	case *batch:
 		err = runBatch(*codecName, *decompress, *output, *quiet, *jobs, flag.Args())
-	} else {
+	default:
 		err = run(*codecName, *decompress, *output, *quiet, flag.Args())
 	}
 	if err != nil {
@@ -90,6 +106,54 @@ func run(codecName string, decompress bool, output string, quiet bool, args []st
 		return doDecompress(raw, out, quiet)
 	}
 	return doCompress(codecName, raw, out, quiet)
+}
+
+// runExchange pushes the cleansed input through the full exchange loop —
+// compress on a modeled lab client, upload to (optionally fault-injected)
+// BLOB storage, download at the datacenter, decompress and verify — and
+// reports the modeled stage times and the retry trace.
+func runExchange(codecName string, faultRate float64, retries int, faultSeed uint64, quiet bool, args []string) error {
+	in, name, err := openInput(args)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", name, err)
+	}
+	symbols, _ := cleanse(raw)
+	if len(symbols) == 0 {
+		return fmt.Errorf("input contains no ACGT bases")
+	}
+
+	var store cloud.Store = cloud.NewBlobStore()
+	if faultRate > 0 {
+		store = cloud.NewFaultyStore(store, cloud.FaultConfig{Rate: faultRate, Seed: faultSeed})
+	}
+	policy := cloud.DefaultRetryPolicy()
+	policy.MaxRetries = retries
+	policy.Seed = faultSeed
+	client := cloud.Grid()[0] // a representative slow lab guest
+	rep, err := cloud.Exchange(context.Background(), client, store, codecName, symbols, cloud.ExchangeOptions{
+		Blob:    filepath.Base(name),
+		Retry:   policy,
+		Cleanup: true,
+	})
+	if err != nil {
+		return fmt.Errorf("exchange: %w", err)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "dnacomp: exchange via %s on %s: %d bases -> %d bytes (%.3f bits/base)\n",
+			rep.Codec, client.Name, rep.OriginalBases, rep.CompressedBytes, rep.BitsPerBase)
+		fmt.Fprintf(os.Stderr, "dnacomp: modeled ms: compress %.1f, upload %.1f, download %.1f, decompress %.1f, retry backoff %.1f (total %.1f)\n",
+			rep.CompressMS, rep.UploadMS, rep.DownloadMS, rep.DecompressMS, rep.RetryWaitMS, rep.TotalTimeMS())
+		for _, tr := range rep.Traces {
+			fmt.Fprintf(os.Stderr, "dnacomp: %s: %d attempt(s)\n", tr.Op, tr.Attempts)
+		}
+		fmt.Fprintln(os.Stderr, "dnacomp: round trip verified byte-identical")
+	}
+	return nil
 }
 
 func openInput(args []string) (io.ReadCloser, string, error) {

@@ -201,3 +201,26 @@ func TestErrors(t *testing.T) {
 		t.Error("truncated header accepted")
 	}
 }
+
+// TestExchangeMode: the exchange loop round-trips through a clean store and
+// through a 30 % fault-injected store, and rejects bad input up front.
+func TestExchangeMode(t *testing.T) {
+	p := synth.Profile{Length: 3000, GC: 0.5, RepeatProb: 0.002, RepeatMin: 20, RepeatMax: 100}
+	in := writeTemp(t, "seq.txt", p.GenerateASCII(31))
+	if err := runExchange("dnax", 0, 8, 2015, true, []string{in}); err != nil {
+		t.Fatalf("clean exchange: %v", err)
+	}
+	if err := runExchange("dnax", 0.3, 8, 2015, true, []string{in}); err != nil {
+		t.Fatalf("faulty exchange at 30%%: %v", err)
+	}
+	if err := runExchange("nope", 0, 8, 2015, true, []string{in}); err == nil {
+		t.Error("unknown codec accepted in exchange mode")
+	}
+	if err := runExchange("dnax", 0, 8, 2015, true, []string{writeTemp(t, "n.txt", []byte("123"))}); err == nil {
+		t.Error("no-ACGT input accepted in exchange mode")
+	}
+	// A retry budget of zero against a certain first-attempt fault fails.
+	if err := runExchange("dnax", 1, 0, 2015, true, []string{in}); err == nil {
+		t.Error("always-failing store with no retries reported success")
+	}
+}

@@ -9,6 +9,12 @@
 // -max-kb 10240 reproduces the full-scale run (slow: GenCompress's modeled
 // target is a deliberately pathological research binary and its *actual*
 // compute is superlinear too).
+//
+// -fault-rate > 0 follows the grid build with a chaos exchange pass: every
+// corpus file's time-only winner is pushed through cloud.Exchange against a
+// fault-injected BLOB store, proving the retry policy round-trips each blob
+// byte-identically. -partial switches the grid build to graceful
+// degradation (failed (file, codec) slots are reported, not fatal).
 package main
 
 import (
@@ -31,37 +37,58 @@ import (
 	_ "github.com/srl-nuces/ctxdna/internal/compress/gzipx"
 )
 
+// runConfig carries every CLI knob of the grid build.
+type runConfig struct {
+	nFiles       int
+	minKB, maxKB int
+	seed         int64
+	out          string
+	jobs         int
+	partial      bool
+	faultRate    float64
+	retries      int
+}
+
 func main() {
-	var (
-		nFiles = flag.Int("files", 132, "number of corpus files (paper: 132)")
-		minKB  = flag.Int("min-kb", 1, "smallest file in KB")
-		maxKB  = flag.Int("max-kb", 256, "largest file in KB (paper cap: 10240)")
-		seed   = flag.Int64("seed", 2015, "corpus seed")
-		out    = flag.String("out", "grid.csv", "output CSV path")
-		jobs   = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel compression workers (1 = sequential; results identical)")
-	)
+	var cfg runConfig
+	flag.IntVar(&cfg.nFiles, "files", 132, "number of corpus files (paper: 132)")
+	flag.IntVar(&cfg.minKB, "min-kb", 1, "smallest file in KB")
+	flag.IntVar(&cfg.maxKB, "max-kb", 256, "largest file in KB (paper cap: 10240)")
+	flag.Int64Var(&cfg.seed, "seed", 2015, "corpus seed (also seeds faults and retry jitter)")
+	flag.StringVar(&cfg.out, "out", "grid.csv", "output CSV path")
+	flag.IntVar(&cfg.jobs, "jobs", runtime.GOMAXPROCS(0), "parallel compression workers (1 = sequential; results identical)")
+	flag.BoolVar(&cfg.partial, "partial", false, "tolerate failed (file, codec) runs: report them and keep the surviving grid")
+	flag.Float64Var(&cfg.faultRate, "fault-rate", 0, "transient-fault probability per storage op in the post-grid chaos exchange pass (0 disables the pass)")
+	flag.IntVar(&cfg.retries, "retries", cloud.DefaultRetryPolicy().MaxRetries, "retry budget per storage op during the chaos exchange pass")
 	flag.Parse()
-	if err := run(*nFiles, *minKB, *maxKB, *seed, *out, *jobs); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "experiment:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nFiles, minKB, maxKB int, seed int64, out string, jobs int) error {
-	spec := synth.CorpusSpec{NumFiles: nFiles, MinSize: minKB << 10, MaxSize: maxKB << 10, Seed: seed}
-	fmt.Fprintf(os.Stderr, "experiment: generating %d files (%d KB .. %d KB, seed %d)\n", nFiles, minKB, maxKB, seed)
+func run(cfg runConfig) error {
+	spec := synth.CorpusSpec{NumFiles: cfg.nFiles, MinSize: cfg.minKB << 10, MaxSize: cfg.maxKB << 10, Seed: cfg.seed}
+	fmt.Fprintf(os.Stderr, "experiment: generating %d files (%d KB .. %d KB, seed %d)\n", cfg.nFiles, cfg.minKB, cfg.maxKB, cfg.seed)
 	files := synth.ExperimentCorpus(spec)
 
 	codecs := []string{"ctw", "dnax", "gencompress", "gzip"}
 	cache := compress.NewCache()
 	start := time.Now()
-	g, err := experiment.RunParallelCached(context.Background(), files, cloud.Grid(), codecs, experiment.DefaultNoise(), jobs, cache)
+	g, failed, err := experiment.RunGrid(context.Background(), files, cloud.Grid(), codecs, experiment.DefaultNoise(),
+		experiment.RunConfig{Jobs: cfg.jobs, Cache: cache, Partial: cfg.partial})
 	if err != nil {
 		return err
 	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "experiment: degraded grid: %d failed runs dropped:\n", len(failed))
+		for _, re := range failed {
+			fmt.Fprintf(os.Stderr, "experiment:   %s on %s: %v\n", re.Codec, re.File, re.Err)
+		}
+	}
 	hits, misses := cache.Counters()
 	fmt.Fprintf(os.Stderr, "experiment: %d rows (%d files x %d contexts x %d codecs) in %s (jobs=%d, cache %d hits / %d misses)\n",
-		len(g.Rows), len(g.Files), len(g.Contexts), len(g.Codecs), time.Since(start).Round(time.Millisecond), jobs, hits, misses)
+		len(g.Rows), len(g.Files), len(g.Contexts), len(g.Codecs), time.Since(start).Round(time.Millisecond), cfg.jobs, hits, misses)
 
 	counts := g.LabelCounts(core.TimeOnlyWeights())
 	fmt.Fprintf(os.Stderr, "experiment: time-only labels: ")
@@ -70,7 +97,13 @@ func run(nFiles, minKB, maxKB int, seed int64, out string, jobs int) error {
 	}
 	fmt.Fprintln(os.Stderr)
 
-	f, err := os.Create(out)
+	if cfg.faultRate > 0 {
+		if err := chaosExchange(g, files, cfg); err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Create(cfg.out)
 	if err != nil {
 		return err
 	}
@@ -78,6 +111,42 @@ func run(nFiles, minKB, maxKB int, seed int64, out string, jobs int) error {
 	if err := g.WriteCSV(f); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "experiment: wrote %s\n", out)
+	fmt.Fprintf(os.Stderr, "experiment: wrote %s\n", cfg.out)
+	return nil
+}
+
+// chaosExchange round-trips every surviving file through a fault-injected
+// BLOB store using its time-only winner codec at the grid's first context.
+// Exchange verifies each round trip byte for byte; any failure under the
+// retry budget is fatal.
+func chaosExchange(g *experiment.Grid, files []synth.File, cfg runConfig) error {
+	data := make(map[string][]byte, len(files))
+	for _, f := range files {
+		data[f.Name] = f.Data
+	}
+	client := g.Contexts[0]
+	store := cloud.NewFaultyStore(cloud.NewBlobStore(), cloud.FaultConfig{Rate: cfg.faultRate, Seed: uint64(cfg.seed)})
+	policy := cloud.DefaultRetryPolicy()
+	policy.MaxRetries = cfg.retries
+	policy.Seed = uint64(cfg.seed)
+
+	labels := g.Labels(core.TimeOnlyWeights())
+	attempts, retryWait := 0, 0.0
+	for fi, fr := range g.Files {
+		codec := labels[fi*len(g.Contexts)] // row of (file, first context)
+		rep, err := cloud.Exchange(context.Background(), client, store, codec, data[fr.Name], cloud.ExchangeOptions{
+			Blob:    fr.Name,
+			Retry:   policy,
+			Cleanup: true,
+		})
+		if err != nil {
+			return fmt.Errorf("chaos exchange of %s via %s: %w", fr.Name, codec, err)
+		}
+		attempts += rep.AttemptCount()
+		retryWait += rep.RetryWaitMS
+	}
+	ops, injected := store.Counters()
+	fmt.Fprintf(os.Stderr, "experiment: chaos exchange: %d files round-tripped (fault rate %.0f%%, %d/%d ops faulted, %d attempts, %.0f ms modeled backoff)\n",
+		len(g.Files), 100*cfg.faultRate, injected, ops, attempts, retryWait)
 	return nil
 }

@@ -11,7 +11,7 @@ import (
 
 func TestRunWritesReadableGrid(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "grid.csv")
-	if err := run(6, 2, 16, 7, out, 1); err != nil {
+	if err := run(runConfig{nFiles: 6, minKB: 2, maxKB: 16, seed: 7, out: out, jobs: 1}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -32,7 +32,8 @@ func TestRunWritesReadableGrid(t *testing.T) {
 }
 
 func TestRunBadOutputPath(t *testing.T) {
-	if err := run(2, 2, 4, 7, filepath.Join(t.TempDir(), "no", "such", "dir", "g.csv"), 2); err == nil {
+	out := filepath.Join(t.TempDir(), "no", "such", "dir", "g.csv")
+	if err := run(runConfig{nFiles: 2, minKB: 2, maxKB: 4, seed: 7, out: out, jobs: 2}); err == nil {
 		t.Fatal("unwritable output accepted")
 	}
 }
@@ -43,10 +44,10 @@ func TestRunJobsDeterministic(t *testing.T) {
 	dir := t.TempDir()
 	seqOut := filepath.Join(dir, "seq.csv")
 	parOut := filepath.Join(dir, "par.csv")
-	if err := run(4, 2, 8, 9, seqOut, 1); err != nil {
+	if err := run(runConfig{nFiles: 4, minKB: 2, maxKB: 8, seed: 9, out: seqOut, jobs: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(4, 2, 8, 9, parOut, 4); err != nil {
+	if err := run(runConfig{nFiles: 4, minKB: 2, maxKB: 8, seed: 9, out: parOut, jobs: 4}); err != nil {
 		t.Fatal(err)
 	}
 	a, err := os.ReadFile(seqOut)
@@ -59,5 +60,25 @@ func TestRunJobsDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(a, b) {
 		t.Fatalf("jobs=1 and jobs=4 CSVs differ (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestRunChaosExchange: with a 30 % fault rate and the default retry budget
+// every corpus blob must round-trip (Exchange verifies bytes internally),
+// and the grid CSV is unaffected by the chaos pass.
+func TestRunChaosExchange(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.csv")
+	chaos := filepath.Join(dir, "chaos.csv")
+	if err := run(runConfig{nFiles: 4, minKB: 2, maxKB: 8, seed: 7, out: plain, jobs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(runConfig{nFiles: 4, minKB: 2, maxKB: 8, seed: 7, out: chaos, jobs: 2, faultRate: 0.3, retries: 8, partial: true}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(plain)
+	b, _ := os.ReadFile(chaos)
+	if !bytes.Equal(a, b) {
+		t.Fatal("chaos exchange pass changed the measurement CSV")
 	}
 }

@@ -13,6 +13,7 @@
 package cloud
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -127,6 +128,27 @@ func Grid() []VM {
 	return out
 }
 
+// Permanent storage failures. These are the non-retryable half of the
+// store's error taxonomy: a missing container or BLOB will stay missing no
+// matter how often a client retries, unlike an injected *TransientError.
+var (
+	// ErrNotFound reports a container or BLOB that does not exist (the REST
+	// API's 404).
+	ErrNotFound = errors.New("cloud: not found")
+	// ErrContainerExists reports creation of an existing container (409).
+	ErrContainerExists = errors.New("cloud: container already exists")
+)
+
+// Store is the blob-store surface the exchange pipeline operates on. It is
+// satisfied by *BlobStore and by *FaultyStore, so the same pipeline runs
+// against a reliable backend or a fault-injected one.
+type Store interface {
+	CreateContainer(name string) error
+	Put(container, blob string, data []byte) error
+	Get(container, blob string) ([]byte, error)
+	Delete(container, blob string) error
+}
+
 // BlobStore is an in-memory stand-in for the Azure storage account (SAAS)
 // holding uploaded files as BLOBs inside containers. It is safe for
 // concurrent use.
@@ -146,7 +168,7 @@ func (s *BlobStore) CreateContainer(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.containers[name]; ok {
-		return fmt.Errorf("cloud: container %q already exists", name)
+		return fmt.Errorf("%w: container %q", ErrContainerExists, name)
 	}
 	s.containers[name] = make(map[string][]byte)
 	return nil
@@ -158,7 +180,7 @@ func (s *BlobStore) Put(container, blob string, data []byte) error {
 	defer s.mu.Unlock()
 	c, ok := s.containers[container]
 	if !ok {
-		return fmt.Errorf("cloud: container %q not found", container)
+		return fmt.Errorf("%w: container %q", ErrNotFound, container)
 	}
 	c[blob] = append([]byte(nil), data...)
 	return nil
@@ -170,11 +192,11 @@ func (s *BlobStore) Get(container, blob string) ([]byte, error) {
 	defer s.mu.RUnlock()
 	c, ok := s.containers[container]
 	if !ok {
-		return nil, fmt.Errorf("cloud: container %q not found", container)
+		return nil, fmt.Errorf("%w: container %q", ErrNotFound, container)
 	}
 	data, ok := c[blob]
 	if !ok {
-		return nil, fmt.Errorf("cloud: blob %q not found in %q", blob, container)
+		return nil, fmt.Errorf("%w: blob %q in %q", ErrNotFound, blob, container)
 	}
 	return append([]byte(nil), data...), nil
 }
@@ -185,10 +207,10 @@ func (s *BlobStore) Delete(container, blob string) error {
 	defer s.mu.Unlock()
 	c, ok := s.containers[container]
 	if !ok {
-		return fmt.Errorf("cloud: container %q not found", container)
+		return fmt.Errorf("%w: container %q", ErrNotFound, container)
 	}
 	if _, ok := c[blob]; !ok {
-		return fmt.Errorf("cloud: blob %q not found in %q", blob, container)
+		return fmt.Errorf("%w: blob %q in %q", ErrNotFound, blob, container)
 	}
 	delete(c, blob)
 	return nil
@@ -200,7 +222,7 @@ func (s *BlobStore) List(container string) ([]string, error) {
 	defer s.mu.RUnlock()
 	c, ok := s.containers[container]
 	if !ok {
-		return nil, fmt.Errorf("cloud: container %q not found", container)
+		return nil, fmt.Errorf("%w: container %q", ErrNotFound, container)
 	}
 	names := make([]string, 0, len(c))
 	for n := range c {
@@ -216,11 +238,11 @@ func (s *BlobStore) Size(container, blob string) (int, error) {
 	defer s.mu.RUnlock()
 	c, ok := s.containers[container]
 	if !ok {
-		return 0, fmt.Errorf("cloud: container %q not found", container)
+		return 0, fmt.Errorf("%w: container %q", ErrNotFound, container)
 	}
 	data, ok := c[blob]
 	if !ok {
-		return 0, fmt.Errorf("cloud: blob %q not found in %q", blob, container)
+		return 0, fmt.Errorf("%w: blob %q in %q", ErrNotFound, blob, container)
 	}
 	return len(data), nil
 }

@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -130,27 +131,30 @@ func TestBlobStoreLifecycle(t *testing.T) {
 	if err := s.Delete("dna", "seq1"); err == nil {
 		t.Fatal("double delete accepted")
 	}
-	if _, err := s.Get("dna", "seq1"); err == nil {
-		t.Fatal("deleted blob still readable")
+	if _, err := s.Get("dna", "seq1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted blob: err = %v, want ErrNotFound", err)
+	}
+	if err := s.CreateContainer("dna"); !errors.Is(err, ErrContainerExists) {
+		t.Fatalf("duplicate container: err = %v, want ErrContainerExists", err)
 	}
 }
 
 func TestBlobStoreMissingContainer(t *testing.T) {
 	s := NewBlobStore()
-	if err := s.Put("nope", "b", nil); err == nil {
-		t.Error("Put to missing container accepted")
+	if err := s.Put("nope", "b", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Put to missing container: err = %v, want ErrNotFound", err)
 	}
-	if _, err := s.Get("nope", "b"); err == nil {
-		t.Error("Get from missing container accepted")
+	if _, err := s.Get("nope", "b"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get from missing container: err = %v, want ErrNotFound", err)
 	}
-	if _, err := s.List("nope"); err == nil {
-		t.Error("List of missing container accepted")
+	if _, err := s.List("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("List of missing container: err = %v, want ErrNotFound", err)
 	}
-	if err := s.Delete("nope", "b"); err == nil {
-		t.Error("Delete from missing container accepted")
+	if err := s.Delete("nope", "b"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Delete from missing container: err = %v, want ErrNotFound", err)
 	}
-	if _, err := s.Size("nope", "b"); err == nil {
-		t.Error("Size from missing container accepted")
+	if _, err := s.Size("nope", "b"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Size from missing container: err = %v, want ErrNotFound", err)
 	}
 }
 
@@ -174,13 +178,31 @@ func TestBlobStoreConcurrent(t *testing.T) {
 					t.Error(err)
 					return
 				}
+				if _, err := s.Size("c", name); err != nil {
+					t.Error(err)
+					return
+				}
+				// Every other blob is deleted again, so Put/Get/Delete (and
+				// the read-path List below) all contend under -race.
+				if i%2 == 1 {
+					if err := s.Delete("c", name); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if g == 0 && i%10 == 0 {
+					if _, err := s.List("c"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
 			}
 		}(g)
 	}
 	wg.Wait()
 	names, err := s.List("c")
-	if err != nil || len(names) != 800 {
-		t.Fatalf("List = %d names, %v", len(names), err)
+	if err != nil || len(names) != 400 {
+		t.Fatalf("List = %d names, %v (want the 400 surviving blobs)", len(names), err)
 	}
 }
 

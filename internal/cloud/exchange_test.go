@@ -1,0 +1,207 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	_ "github.com/srl-nuces/ctxdna/internal/compress/dnax"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/gzipx"
+)
+
+// chaosClient is the slow lab guest the chaos tests exchange from.
+var chaosClient = VM{Name: "chaos-client", RAMMB: 2048, CPUMHz: 2000, BandwidthMbps: 2}
+
+// symbols generates a deterministic pseudo-DNA symbol sequence (codes 0..3).
+func symbols(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(4))
+	}
+	return out
+}
+
+func TestExchangeRoundTripPlainStore(t *testing.T) {
+	store := NewBlobStore()
+	src := symbols(4096, 1)
+	for _, codec := range []string{"dnax", "gzip"} {
+		rep, err := Exchange(context.Background(), chaosClient, store, codec, src, ExchangeOptions{
+			Blob: "seq-" + codec, Retry: DefaultRetryPolicy(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		if rep.OriginalBases != len(src) || rep.CompressedBytes <= 0 || rep.BitsPerBase <= 0 {
+			t.Fatalf("%s: bad report %+v", codec, rep)
+		}
+		if rep.CompressMS <= 0 || rep.DecompressMS <= 0 || rep.UploadMS <= 0 || rep.DownloadMS <= 0 {
+			t.Fatalf("%s: non-positive stage time: %+v", codec, rep)
+		}
+		if rep.RetryWaitMS != 0 || rep.AttemptCount() != 2 {
+			t.Fatalf("%s: reliable store needed retries: %+v", codec, rep.Traces)
+		}
+	}
+	// A second exchange into the same (now existing) container must work.
+	if _, err := Exchange(context.Background(), chaosClient, store, "dnax", src, ExchangeOptions{Blob: "again"}); err != nil {
+		t.Fatalf("existing container rejected: %v", err)
+	}
+}
+
+// TestExchangeFaultyReproducible is the acceptance chaos test: with fault
+// rate <= 30 % and the default retry budget, every blob round-trips
+// byte-identically (Exchange verifies internally), retries do happen, and
+// the same seed reproduces the exact reports — retry schedules included.
+func TestExchangeFaultyReproducible(t *testing.T) {
+	run := func(seed uint64) ([]ExchangeReport, uint64) {
+		store := NewFaultyStore(NewBlobStore(), FaultConfig{Rate: 0.3, Seed: seed})
+		var reps []ExchangeReport
+		for i := 0; i < 6; i++ {
+			for _, codec := range []string{"dnax", "gzip"} {
+				src := symbols(2048+512*i, int64(i))
+				rep, err := Exchange(context.Background(), chaosClient, store, codec, src, ExchangeOptions{
+					Blob:    fmt.Sprintf("seq-%d-%s", i, codec),
+					Retry:   DefaultRetryPolicy(),
+					Cleanup: true,
+				})
+				if err != nil {
+					t.Fatalf("blob %d via %s: %v", i, codec, err)
+				}
+				reps = append(reps, rep)
+			}
+		}
+		_, injected := store.Counters()
+		return reps, injected
+	}
+	a, injectedA := run(2015)
+	b, injectedB := run(2015)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same fault seed produced different exchange reports")
+	}
+	if injectedA != injectedB {
+		t.Fatalf("same seed injected %d vs %d faults", injectedA, injectedB)
+	}
+	if injectedA == 0 {
+		t.Fatal("30 % fault rate injected nothing over 12 exchanges — schedule degenerate")
+	}
+	retried := 0
+	for _, rep := range a {
+		if len(rep.Traces) != 3 { // put, get, delete
+			t.Fatalf("report has %d traces: %+v", len(rep.Traces), rep.Traces)
+		}
+		if rep.AttemptCount() > 3 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Fatal("no exchange needed a retry at 30 % fault rate")
+	}
+}
+
+func TestBackoffScheduleDeterministicCappedExponential(t *testing.T) {
+	p := DefaultRetryPolicy()
+	var prev float64
+	for r := 0; r < 12; r++ {
+		d := p.BackoffMS("put", r)
+		if d != p.BackoffMS("put", r) {
+			t.Fatalf("retry %d: backoff not deterministic", r)
+		}
+		if d <= 0 || d > p.CapMS*(1+p.JitterFrac) {
+			t.Fatalf("retry %d: backoff %v outside (0, cap*(1+jitter)]", r, d)
+		}
+		// Jitter is ±20 %, doubling is ×2: growth must dominate until the cap.
+		if base := p.BaseMS * float64(int(1)<<r); base < p.CapMS && d <= prev {
+			t.Fatalf("retry %d: backoff %v did not grow past %v", r, d, prev)
+		}
+		prev = d
+	}
+	other := p
+	other.Seed++
+	diff := false
+	for r := 0; r < 12; r++ {
+		if p.BackoffMS("get", r) != other.BackoffMS("get", r) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("seed change left the jittered schedule untouched")
+	}
+}
+
+func TestExchangeExhaustsRetries(t *testing.T) {
+	store := NewFaultyStore(NewBlobStore(), FaultConfig{Rate: 1, Seed: 3})
+	policy := DefaultRetryPolicy()
+	policy.MaxRetries = 3
+	rep, err := Exchange(context.Background(), chaosClient, store, "dnax", symbols(512, 2), ExchangeOptions{Retry: policy})
+	if err == nil {
+		t.Fatal("always-failing store succeeded")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("exhaustion error %v hides the transient cause", err)
+	}
+	if len(rep.Traces) != 1 || rep.Traces[0].Attempts != 4 {
+		t.Fatalf("traces = %+v, want one put with 4 attempts", rep.Traces)
+	}
+	if len(rep.Traces[0].BackoffMS) != 3 {
+		t.Fatalf("recorded %d backoffs, want 3", len(rep.Traces[0].BackoffMS))
+	}
+}
+
+// permafailStore fails Put with a permanent (non-transient) error.
+type permafailStore struct{ *BlobStore }
+
+func (s *permafailStore) Put(container, blob string, data []byte) error {
+	return errors.New("disk on fire")
+}
+
+func TestExchangePermanentErrorNotRetried(t *testing.T) {
+	store := &permafailStore{NewBlobStore()}
+	if err := store.CreateContainer("exchange"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Exchange(context.Background(), chaosClient, store, "dnax", symbols(256, 3), ExchangeOptions{Retry: DefaultRetryPolicy()})
+	if err == nil || IsTransient(err) {
+		t.Fatalf("err = %v, want permanent failure", err)
+	}
+	if len(rep.Traces) != 1 || rep.Traces[0].Attempts != 1 {
+		t.Fatalf("permanent failure was retried: %+v", rep.Traces)
+	}
+}
+
+func TestExchangeCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Exchange(ctx, chaosClient, NewBlobStore(), "dnax", symbols(256, 4), ExchangeOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExchangeOpTimeoutRetriesThenGivesUp(t *testing.T) {
+	store := NewFaultyStore(NewBlobStore(), FaultConfig{Rate: 0, Seed: 1, OpDelay: 50 * time.Millisecond})
+	policy := DefaultRetryPolicy()
+	policy.MaxRetries = 2
+	rep, err := Exchange(context.Background(), chaosClient, store, "dnax", symbols(256, 5), ExchangeOptions{
+		Retry:     policy,
+		OpTimeout: 5 * time.Millisecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if len(rep.Traces) != 1 || rep.Traces[0].Attempts != 3 {
+		t.Fatalf("traces = %+v, want one put with 3 attempts", rep.Traces)
+	}
+}
+
+func TestExchangeRejectsBadInput(t *testing.T) {
+	if _, err := Exchange(context.Background(), chaosClient, nil, "dnax", symbols(16, 6), ExchangeOptions{}); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := Exchange(context.Background(), chaosClient, NewBlobStore(), "nope", symbols(16, 6), ExchangeOptions{}); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTransientErrorTyping(t *testing.T) {
+	err := fmt.Errorf("wrapped: %w", &TransientError{Op: "put", Container: "c", Blob: "b", Attempt: 2})
+	if !IsTransient(err) {
+		t.Error("IsTransient misses a wrapped *TransientError")
+	}
+	var te *TransientError
+	if !errors.As(err, &te) || te.Op != "put" || te.Attempt != 2 {
+		t.Errorf("errors.As recovered %+v", te)
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Error("plain error classified transient")
+	}
+	if IsTransient(ErrNotFound) {
+		t.Error("permanent ErrNotFound classified transient")
+	}
+}
+
+// faultSequence records the injected/passed outcome of n consecutive Put
+// attempts on one key.
+func faultSequence(s *FaultyStore, blob string, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = IsTransient(s.Put("c", blob, []byte{1}))
+	}
+	return out
+}
+
+func TestFaultyStoreDeterministicSchedule(t *testing.T) {
+	mk := func(seed uint64) *FaultyStore {
+		inner := NewBlobStore()
+		if err := inner.CreateContainer("c"); err != nil {
+			t.Fatal(err)
+		}
+		return NewFaultyStore(inner, FaultConfig{Rate: 0.5, Seed: seed})
+	}
+	a := faultSequence(mk(7), "blob", 64)
+	b := faultSequence(mk(7), "blob", 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at attempt %d", i)
+		}
+	}
+	faults, passes := 0, 0
+	for _, injected := range a {
+		if injected {
+			faults++
+		} else {
+			passes++
+		}
+	}
+	if faults == 0 || passes == 0 {
+		t.Fatalf("rate 0.5 over 64 attempts: %d faults, %d passes — schedule degenerate", faults, passes)
+	}
+	// A different key draws an independent schedule; interleaving must not
+	// matter (per-key attempt counters).
+	s := mk(7)
+	other := faultSequence(s, "other", 64) // interleave: other first...
+	again := faultSequence(s, "blob", 64)  // ...then blob
+	for i := range a {
+		if a[i] != again[i] {
+			t.Fatalf("interleaving another key changed blob's schedule at attempt %d", i)
+		}
+	}
+	_ = other
+}
+
+func TestFaultyStoreRateZeroTransparent(t *testing.T) {
+	inner := NewBlobStore()
+	if err := inner.CreateContainer("c"); err != nil {
+		t.Fatal(err)
+	}
+	s := NewFaultyStore(inner, FaultConfig{Rate: 0, Seed: 1})
+	if err := s.Put("c", "b", []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get("c", "b"); err != nil || len(got) != 2 {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if err := s.Delete("c", "b"); err != nil {
+		t.Fatal(err)
+	}
+	ops, injected := s.Counters()
+	if ops != 3 || injected != 0 {
+		t.Fatalf("counters: %d ops, %d injected, want 3 and 0", ops, injected)
+	}
+}
+
+func TestFaultyStoreRateOneAlwaysFails(t *testing.T) {
+	inner := NewBlobStore()
+	if err := inner.CreateContainer("c"); err != nil {
+		t.Fatal(err)
+	}
+	s := NewFaultyStore(inner, FaultConfig{Rate: 1, Seed: 1})
+	for i := 0; i < 10; i++ {
+		if err := s.Put("c", "b", nil); !IsTransient(err) {
+			t.Fatalf("attempt %d: err = %v, want transient", i, err)
+		}
+	}
+	if _, err := inner.Get("c", "b"); !errors.Is(err, ErrNotFound) {
+		t.Error("fault-blocked Put reached the inner store")
+	}
+}
+
+// TestFaultyStorePermanentErrorsPassThrough: real store failures keep their
+// permanent classification through the wrapper.
+func TestFaultyStorePermanentErrorsPassThrough(t *testing.T) {
+	s := NewFaultyStore(NewBlobStore(), FaultConfig{Rate: 0, Seed: 1})
+	_, err := s.Get("missing", "b")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if IsTransient(err) {
+		t.Error("permanent not-found classified transient")
+	}
+	if err := s.CreateContainer("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateContainer("c"); !errors.Is(err, ErrContainerExists) {
+		t.Errorf("duplicate container through wrapper: %v", err)
+	}
+}
+
+// TestFaultyStoreConcurrent hammers Put/Get/Delete with faults from many
+// goroutines; under -race this pins the wrapper's locking, and the per-key
+// schedules stay deterministic despite scheduling.
+func TestFaultyStoreConcurrent(t *testing.T) {
+	inner := NewBlobStore()
+	if err := inner.CreateContainer("c"); err != nil {
+		t.Fatal(err)
+	}
+	s := NewFaultyStore(inner, FaultConfig{Rate: 0.3, Seed: 9})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				blob := fmt.Sprintf("blob-%d-%d", g, i)
+				until := func(op func() error) {
+					for op() != nil {
+					}
+				}
+				until(func() error { return s.Put("c", blob, []byte{byte(g), byte(i)}) })
+				until(func() error { _, err := s.Get("c", blob); return err })
+				until(func() error { return s.Delete("c", blob) })
+			}
+		}(g)
+	}
+	wg.Wait()
+	names, err := inner.List("c")
+	if err != nil || len(names) != 0 {
+		t.Fatalf("List = %v, %v (want empty after deletes)", names, err)
+	}
+	ops, injected := s.Counters()
+	if ops < 8*40*3 {
+		t.Errorf("ops = %d, want >= %d", ops, 8*40*3)
+	}
+	if injected == 0 {
+		t.Error("no faults injected at rate 0.3")
+	}
+}

@@ -11,8 +11,8 @@ import (
 // modeled cost of producing and reversing it. Entries are only stored after
 // a verified round-trip, so a cache hit is as trustworthy as a fresh run.
 type Result struct {
-	// Data is the compressed stream. Treat it as read-only: hits return the
-	// stored slice without copying.
+	// Data is the compressed stream. Both Put and Get copy it, so a caller
+	// may mutate the slice it holds without corrupting other callers.
 	Data []byte
 	// Bases is the original sequence length, kept as a collision tripwire.
 	Bases         int
@@ -59,6 +59,10 @@ func (c *Cache) Get(k Key) (Result, bool) {
 	r, ok := c.m[k]
 	if ok {
 		c.hits++
+		// Hand out a private copy: the stored entry outlives any single
+		// caller, and a shared slice would let one caller's mutation corrupt
+		// every later hit.
+		r.Data = append([]byte(nil), r.Data...)
 	} else {
 		c.misses++
 	}

@@ -113,3 +113,57 @@ func TestCacheConcurrentAccess(t *testing.T) {
 		t.Errorf("hits+misses = %d, want %d", hits+misses, 8*20)
 	}
 }
+
+// TestCacheGetReturnsPrivateCopy: a hit must hand out a private Data slice.
+// The old bug returned the stored slice itself, so one caller's mutation
+// (or reuse of the buffer) silently corrupted every later hit.
+func TestCacheGetReturnsPrivateCopy(t *testing.T) {
+	cache := compress.NewCache()
+	src := bytes.Repeat([]byte{0, 1, 2, 3}, 256)
+	orig, err := compress.CompressCached(cache, "dnapack", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), orig.Data...)
+
+	hit1, ok := cache.Get(compress.ContentKey("dnapack", src))
+	if !ok {
+		t.Fatal("warm cache missed")
+	}
+	for i := range hit1.Data {
+		hit1.Data[i] ^= 0xFF // scribble over the first hit's buffer
+	}
+	hit2, ok := cache.Get(compress.ContentKey("dnapack", src))
+	if !ok {
+		t.Fatal("warm cache missed")
+	}
+	if !bytes.Equal(hit2.Data, want) {
+		t.Fatal("mutating one Get's Data corrupted the cached entry")
+	}
+}
+
+// TestCompressCachedHitAliasing covers the same contract one level up:
+// mutating a CompressCached hit's Data must not break later decompression.
+func TestCompressCachedHitAliasing(t *testing.T) {
+	cache := compress.NewCache()
+	src := bytes.Repeat([]byte{3, 2, 1, 0}, 256)
+	if _, err := compress.CompressCached(cache, "dnapack", src); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := compress.CompressCached(cache, "dnapack", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hit.Data {
+		hit.Data[i] = 0xAA
+	}
+	again, err := compress.CompressCached(cache, "dnapack", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := compress.New("dnapack")
+	restored, _, err := c.Decompress(again.Data)
+	if err != nil || !bytes.Equal(restored, src) {
+		t.Fatalf("cached entry no longer round-trips after a hit was mutated: %v", err)
+	}
+}

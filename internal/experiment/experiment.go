@@ -42,7 +42,7 @@ type Row struct {
 	FileName     string
 	FileBases    int
 	VM           cloud.VM
-	Measurements []core.Measurement // one per codec, grid order
+	Measurements []core.Measurement // one per surviving codec, grid order (partial builds omit failed codecs)
 }
 
 // Context returns the learning context of the row.
@@ -176,8 +176,12 @@ func (g *Grid) DatasetNormalized(w core.Weights) dtree.Dataset {
 	}
 	labels := g.LabelsNormalized(w)
 	for i, row := range g.Rows {
+		ci, ok := classIdx[labels[i]]
+		if !ok {
+			continue // labeling failed (no measurements): skip, don't poison class 0
+		}
 		ds.X = append(ds.X, row.Context().Features())
-		ds.Y = append(ds.Y, classIdx[labels[i]])
+		ds.Y = append(ds.Y, ci)
 	}
 	return ds
 }
@@ -205,8 +209,12 @@ func (g *Grid) Dataset(w core.Weights) dtree.Dataset {
 	}
 	labels := g.Labels(w)
 	for i, row := range g.Rows {
+		ci, ok := classIdx[labels[i]]
+		if !ok {
+			continue // labeling failed (no measurements): skip, don't poison class 0
+		}
 		ds.X = append(ds.X, row.Context().Features())
-		ds.Y = append(ds.Y, classIdx[labels[i]])
+		ds.Y = append(ds.Y, ci)
 	}
 	return ds
 }
@@ -224,6 +232,7 @@ func (g *Grid) Split() (train, test *Grid) {
 		}
 	}
 	mapIdx := func(dst *Grid, fr FileResult) int {
+		fr.Runs = append([]CodecRun(nil), fr.Runs...)
 		dst.Files = append(dst.Files, fr)
 		return len(dst.Files) - 1
 	}
@@ -237,12 +246,16 @@ func (g *Grid) Split() (train, test *Grid) {
 		}
 	}
 	for _, row := range g.Rows {
+		// Deep-copy the measurements: the copied Row struct would otherwise
+		// share its Measurements backing array with the parent grid, letting
+		// a mutation of a train row corrupt the parent (and through it the
+		// held-out evaluation).
+		r := row
+		r.Measurements = append([]core.Measurement(nil), row.Measurements...)
 		if testFile[row.FileIdx] {
-			r := row
 			r.FileIdx = testIdx[row.FileIdx]
 			test.Rows = append(test.Rows, r)
 		} else {
-			r := row
 			r.FileIdx = trainIdx[row.FileIdx]
 			train.Rows = append(train.Rows, r)
 		}

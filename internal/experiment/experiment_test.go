@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"github.com/srl-nuces/ctxdna/internal/cloud"
@@ -442,5 +443,73 @@ func TestLabelsNormalizedSingleMetricAgrees(t *testing.T) {
 		if raw[i] != norm[i] {
 			t.Fatalf("row %d: raw %q vs norm %q", i, raw[i], norm[i])
 		}
+	}
+}
+
+// TestDatasetSkipsUnlabeledRows: a row whose labeling fails (no
+// measurements — e.g. a partial build dropped every codec's run for it)
+// must be skipped, not silently mapped to class index 0 and poisoning the
+// training labels.
+func TestDatasetSkipsUnlabeledRows(t *testing.T) {
+	files := synth.ExperimentCorpus(synth.CorpusSpec{NumFiles: 3, MinSize: 1024, MaxSize: 4096, Seed: 8})
+	g, err := Run(files, cloud.Grid()[:2], []string{"dnax", "gzip"}, DefaultNoise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := g.Dataset(core.TimeOnlyWeights())
+	g.Rows[0].Measurements = nil // labeling now fails for row 0
+	for _, ds := range []dtree.Dataset{g.Dataset(core.TimeOnlyWeights()), g.DatasetNormalized(core.TimeOnlyWeights())} {
+		if len(ds.X) != len(g.Rows)-1 || len(ds.Y) != len(g.Rows)-1 {
+			t.Fatalf("dataset has %d/%d rows, want %d (unlabeled row skipped)", len(ds.X), len(ds.Y), len(g.Rows)-1)
+		}
+	}
+	// The surviving labels are exactly the full dataset's minus row 0 — the
+	// old bug instead kept row 0 with Y = 0 (the first codec's class).
+	got := g.Dataset(core.TimeOnlyWeights())
+	for i := range got.Y {
+		if got.Y[i] != full.Y[i+1] {
+			t.Fatalf("surviving row %d relabeled %d, want %d", i, got.Y[i], full.Y[i+1])
+		}
+	}
+}
+
+// TestSplitIsolatesMeasurements: Split must deep-copy rows and runs, so
+// mutating a child grid cannot corrupt the parent or the sibling.
+func TestSplitIsolatesMeasurements(t *testing.T) {
+	files := synth.ExperimentCorpus(synth.CorpusSpec{NumFiles: 8, MinSize: 1024, MaxSize: 4096, Seed: 9})
+	g, err := Run(files, cloud.Grid()[:2], []string{"dnax", "gzip"}, DefaultNoise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLabels := g.Labels(core.TimeOnlyWeights())
+	train, test := g.Split()
+	for _, rows := range [][]Row{train.Rows, test.Rows} {
+		for i := range rows {
+			for j := range rows[i].Measurements {
+				rows[i].Measurements[j].CompressMS = -1 // scribble over the child
+			}
+		}
+	}
+	for i := range train.Files {
+		for j := range train.Files[i].Runs {
+			train.Files[i].Runs[j].CompressedSize = -1
+		}
+	}
+	for _, row := range g.Rows {
+		for _, m := range row.Measurements {
+			if m.CompressMS == -1 {
+				t.Fatal("mutating a split row corrupted the parent grid (shared backing array)")
+			}
+		}
+	}
+	for _, fr := range g.Files {
+		for _, run := range fr.Runs {
+			if run.CompressedSize == -1 {
+				t.Fatal("mutating a split file's runs corrupted the parent grid")
+			}
+		}
+	}
+	if got := g.Labels(core.TimeOnlyWeights()); !reflect.DeepEqual(got, wantLabels) {
+		t.Fatal("parent labels changed after child mutation")
 	}
 }

@@ -25,9 +25,10 @@ func (e *RunError) Error() string {
 
 func (e *RunError) Unwrap() error { return e.Err }
 
-// RunErrors aggregates every run failure of a parallel grid build. The
-// first failure cancels the remaining work, so the slice usually holds one
-// entry, but in-flight workers may contribute more.
+// RunErrors aggregates every run failure of a parallel grid build. In
+// strict mode the first failure cancels the remaining work, so the slice
+// usually holds one entry (in-flight workers may contribute more); in
+// Partial mode it names every failed (file, codec) slot, in slot order.
 type RunErrors []*RunError
 
 func (es RunErrors) Error() string {
@@ -57,6 +58,21 @@ func (es RunErrors) Unwrap() []error {
 	return out
 }
 
+// RunConfig bundles the optional knobs of a grid build.
+type RunConfig struct {
+	// Jobs is the worker count; <= 0 means runtime.GOMAXPROCS(0), 1
+	// reproduces the sequential path exactly.
+	Jobs int
+	// Cache, when non-nil, serves verified (codec, content) results so
+	// repeated sweeps cost one compression pass total.
+	Cache *compress.Cache
+	// Partial switches the build to graceful degradation: a failed (file,
+	// codec) run no longer cancels the grid; its slot is recorded in the
+	// returned RunErrors and the grid is assembled from the slots that
+	// succeeded. Files with no surviving codec are dropped entirely.
+	Partial bool
+}
+
 // RunParallel builds the experiment grid with a bounded worker pool fanning
 // out the (file × codec) compression/decompression runs. jobs <= 0 means
 // runtime.GOMAXPROCS(0); jobs == 1 reproduces the sequential path exactly.
@@ -73,20 +89,33 @@ func RunParallel(ctx context.Context, files []synth.File, contexts []cloud.VM, c
 	return RunParallelCached(ctx, files, contexts, codecs, noise, jobs, nil)
 }
 
-// RunParallelCached is RunParallel with a content-hash keyed result cache:
-// a (codec, content) pair already in the cache skips recompression, so
-// repeated sweeps over the same corpus cost one compression pass total.
+// RunParallelCached is RunParallel with a content-hash keyed result cache;
 // cache may be nil.
 func RunParallelCached(ctx context.Context, files []synth.File, contexts []cloud.VM, codecs []string, noise NoiseConfig, jobs int, cache *compress.Cache) (*Grid, error) {
+	g, _, err := RunGrid(ctx, files, contexts, codecs, noise, RunConfig{Jobs: jobs, Cache: cache})
+	return g, err
+}
+
+// RunGrid is the full-control grid build behind RunParallel and
+// RunParallelCached. It returns the grid, the failed (file, codec) slots,
+// and a fatal error. In the default (strict) mode any failure aborts the
+// build and comes back as both RunErrors and the error; with cfg.Partial
+// the failures are surfaced alongside a usable partial grid.
+//
+// External cancellation always wins: if the caller's ctx is done, RunGrid
+// returns ctx.Err() even when failed runs were recorded in the same race,
+// so callers can tell cancellation from run failure.
+func RunGrid(ctx context.Context, files []synth.File, contexts []cloud.VM, codecs []string, noise NoiseConfig, cfg RunConfig) (*Grid, RunErrors, error) {
 	if len(files) == 0 || len(contexts) == 0 || len(codecs) == 0 {
-		return nil, fmt.Errorf("experiment: empty files, contexts or codecs")
+		return nil, nil, fmt.Errorf("experiment: empty files, contexts or codecs")
 	}
 	// Fail on unknown codec names before spinning up any workers.
 	for _, name := range codecs {
 		if _, err := compress.New(name); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	jobs := cfg.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -95,6 +124,7 @@ func RunParallelCached(ctx context.Context, files []synth.File, contexts []cloud
 		jobs = nTasks
 	}
 
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -114,10 +144,12 @@ func RunParallelCached(ctx context.Context, files []synth.File, contexts []cloud
 				f := files[tk.fi]
 				name := codecs[tk.ci]
 				slot := tk.fi*len(codecs) + tk.ci
-				r, err := compress.CompressCached(cache, name, f.Data)
+				r, err := compress.CompressCached(cfg.Cache, name, f.Data)
 				if err != nil {
 					errs[slot] = &RunError{File: f.Name, Codec: name, Err: err}
-					cancel() // abort the rest of the grid promptly
+					if !cfg.Partial {
+						cancel() // abort the rest of the grid promptly
+					}
 					continue
 				}
 				runs[slot] = CodecRun{
@@ -143,27 +175,39 @@ feed:
 	close(tasks)
 	wg.Wait()
 
+	// External cancellation beats run failures: a caller that cancelled
+	// mid-run must see its own ctx.Err(), not whichever RunErrors the
+	// teardown raced in.
+	if err := parent.Err(); err != nil {
+		return nil, nil, err
+	}
+
 	var failed RunErrors
 	for _, e := range errs {
 		if e != nil {
 			failed = append(failed, e)
 		}
 	}
-	if len(failed) > 0 {
-		return nil, failed
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if len(failed) > 0 && !cfg.Partial {
+		return nil, failed, failed
 	}
 
 	g := &Grid{Codecs: codecs, Contexts: contexts}
 	for fi, f := range files {
-		g.Files = append(g.Files, FileResult{
-			Name:  f.Name,
-			Bases: len(f.Data),
-			Runs:  append([]CodecRun(nil), runs[fi*len(codecs):(fi+1)*len(codecs)]...),
-		})
+		fr := FileResult{Name: f.Name, Bases: len(f.Data)}
+		for ci := range codecs {
+			if slot := fi*len(codecs) + ci; errs[slot] == nil {
+				fr.Runs = append(fr.Runs, runs[slot])
+			}
+		}
+		if len(fr.Runs) == 0 {
+			continue // every codec failed on this file: no usable rows
+		}
+		g.Files = append(g.Files, fr)
+	}
+	if len(g.Files) == 0 {
+		return nil, failed, fmt.Errorf("experiment: no file survived the grid build (%d failed runs): %w", len(failed), failed)
 	}
 	g.expand(noise)
-	return g, nil
+	return g, failed, nil
 }

@@ -197,6 +197,105 @@ func TestParallelCancellation(t *testing.T) {
 	}
 }
 
+// TestPartialGridDegradation is the graceful-degradation acceptance test: a
+// Partial build over an always-failing codec still yields labeled rows for
+// every other codec, and the failures name every (file, codec) slot.
+func TestPartialGridDegradation(t *testing.T) {
+	files := synth.ExperimentCorpus(synth.CorpusSpec{NumFiles: 4, MinSize: 1024, MaxSize: 2048, Seed: 3})
+	ctxs := cloud.Grid()[:3]
+	for _, jobs := range []int{1, 4} {
+		g, failed, err := RunGrid(context.Background(), files, ctxs, []string{"teststub", "testfail"}, DefaultNoise(),
+			RunConfig{Jobs: jobs, Partial: true})
+		if err != nil {
+			t.Fatalf("jobs=%d: partial build failed outright: %v", jobs, err)
+		}
+		if len(failed) != len(files) {
+			t.Fatalf("jobs=%d: %d failed slots, want one per file", jobs, len(failed))
+		}
+		seen := map[string]bool{}
+		for _, re := range failed {
+			if re.Codec != "testfail" {
+				t.Errorf("jobs=%d: blamed codec %q, want testfail", jobs, re.Codec)
+			}
+			seen[re.File] = true
+		}
+		if len(seen) != len(files) {
+			t.Errorf("jobs=%d: failures name %d distinct files, want %d", jobs, len(seen), len(files))
+		}
+		if len(g.Files) != len(files) {
+			t.Fatalf("jobs=%d: %d surviving files, want all %d (teststub succeeded)", jobs, len(g.Files), len(files))
+		}
+		for _, fr := range g.Files {
+			if len(fr.Runs) != 1 || fr.Runs[0].Codec != "teststub" {
+				t.Fatalf("jobs=%d: %s runs = %+v, want only teststub", jobs, fr.Name, fr.Runs)
+			}
+		}
+		if want := len(files) * len(ctxs); len(g.Rows) != want {
+			t.Fatalf("jobs=%d: %d rows, want %d", jobs, len(g.Rows), want)
+		}
+		for i, l := range g.Labels(core.TimeOnlyWeights()) {
+			if l != "teststub" {
+				t.Fatalf("jobs=%d: row %d labeled %q, want the surviving codec", jobs, i, l)
+			}
+		}
+	}
+}
+
+// TestPartialGridAllFail: when every slot fails even Partial mode has no
+// grid to return, and the error still carries the typed failures.
+func TestPartialGridAllFail(t *testing.T) {
+	files := synth.ExperimentCorpus(synth.CorpusSpec{NumFiles: 2, MinSize: 1024, MaxSize: 1024, Seed: 4})
+	g, failed, err := RunGrid(context.Background(), files, cloud.Grid()[:2], []string{"testfail"}, DefaultNoise(),
+		RunConfig{Jobs: 2, Partial: true})
+	if g != nil || err == nil {
+		t.Fatalf("all-fail partial build: grid=%v err=%v, want nil grid and error", g != nil, err)
+	}
+	if len(failed) != len(files) {
+		t.Fatalf("%d failed slots, want %d", len(failed), len(files))
+	}
+	var one *RunError
+	if !errors.As(err, &one) {
+		t.Error("errors.As cannot reach *RunError from the all-fail error")
+	}
+}
+
+// TestPartialStrictEquivalence: with no failures, Partial and strict builds
+// are identical — degradation has no effect on the healthy path.
+func TestPartialStrictEquivalence(t *testing.T) {
+	files := synth.ExperimentCorpus(synth.CorpusSpec{NumFiles: 3, MinSize: 1024, MaxSize: 4096, Seed: 6})
+	ctxs := cloud.Grid()[:2]
+	strict, failedS, errS := RunGrid(context.Background(), files, ctxs, []string{"teststub"}, DefaultNoise(), RunConfig{Jobs: 2})
+	partial, failedP, errP := RunGrid(context.Background(), files, ctxs, []string{"teststub"}, DefaultNoise(), RunConfig{Jobs: 2, Partial: true})
+	if errS != nil || errP != nil || len(failedS) != 0 || len(failedP) != 0 {
+		t.Fatalf("healthy builds errored: %v / %v (%d / %d failed)", errS, errP, len(failedS), len(failedP))
+	}
+	if !reflect.DeepEqual(strict, partial) {
+		t.Error("Partial mode changed a failure-free grid")
+	}
+}
+
+// TestExternalCancelBeatsRunErrors pins the cancellation/failure race: a
+// caller that cancelled its own context must see context.Canceled, not the
+// RunErrors that failing workers raced in during teardown.
+func TestExternalCancelBeatsRunErrors(t *testing.T) {
+	files := synth.ExperimentCorpus(synth.CorpusSpec{NumFiles: 8, MinSize: 1024, MaxSize: 1024, Seed: 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// testfail guarantees RunErrors exist in the same teardown; the caller's
+	// cancellation must still win.
+	g, failed, err := RunGrid(ctx, files, cloud.Grid()[:2], []string{"testfail"}, DefaultNoise(), RunConfig{Jobs: 4})
+	if g != nil || failed != nil {
+		t.Fatalf("cancelled run returned grid=%v failed=%d", g != nil, len(failed))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled to beat RunErrors", err)
+	}
+	var runErrs RunErrors
+	if errors.As(err, &runErrs) {
+		t.Error("cancelled run leaked RunErrors through the error chain")
+	}
+}
+
 // TestParallelRejectsBadInput mirrors TestRunRejectsEmpty on the parallel
 // entry point, including up-front unknown-codec validation.
 func TestParallelRejectsBadInput(t *testing.T) {
