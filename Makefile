@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz-smoke chaos fmt verify
+.PHONY: all build lint test race fuzz-smoke chaos corruption fmt verify
 
 all: build
 
@@ -32,6 +32,15 @@ fuzz-smoke:
 	$(GO) test ./internal/compress -run='^$$' -fuzz=FuzzRoundTripAll -fuzztime=5s
 	$(GO) test ./internal/compress -run='^$$' -fuzz=FuzzDecompressAll -fuzztime=5s
 	$(GO) test ./internal/compress -run='^$$' -fuzz=FuzzCacheKey -fuzztime=5s
+	$(GO) test ./internal/compress -run='^$$' -fuzz=FuzzFrameOpen -fuzztime=5s
+
+# Hardened-decode gate: the armored-frame corruption suite (truncation,
+# bit flips, extension, header tampering against all registered codecs),
+# the promoted fuzz seeds, and the frame-checksum exchange tests, under
+# the race detector.
+corruption:
+	$(GO) test ./internal/compress/... -race -run 'Corruption|NeverPanics|SafeDecompress|Frame|Seal|Open'
+	$(GO) test ./internal/cloud -race -run 'ExchangeDetectsCorruption|ExchangeBlobIsArmoredFrame'
 
 # Chaos gate: the fault-injection and exchange tests under -race, run
 # twice to prove the seeded fault schedules and retry backoff reproduce
@@ -42,4 +51,4 @@ chaos:
 fmt:
 	gofmt -w .
 
-verify: lint build race chaos
+verify: lint build race chaos corruption

@@ -3,13 +3,19 @@
 //
 // Compression accepts FASTA or raw ACGT text, cleanses it (headers,
 // whitespace and non-ACGT characters are stripped, as the paper's pipeline
-// does before single-sequence experiments), and writes a self-describing
-// container:
+// does before single-sequence experiments), and writes an armored frame —
+// the compress package container carrying the codec name, the original
+// symbol count, and checksums over both the payload and the restored
+// output:
 //
 //	dnacomp -codec dnax -o seq.dnax seq.fa
 //	dnacomp -d -o restored.txt seq.dnax
 //
-// The container records the codec, so decompression needs no flag.
+// The frame records the codec, so decompression needs no flag, and
+// decompression runs through compress.SafeDecompress: corrupted, truncated
+// or tampered files are rejected with a checksum error instead of being
+// silently mis-restored. Output files are written atomically (temp file +
+// rename), so a crash mid-write never leaves a truncated file behind.
 //
 // Batch mode compresses many inputs concurrently through a bounded worker
 // pool with a shared content-hash result cache, writing one container per
@@ -52,7 +58,10 @@ import (
 	_ "github.com/srl-nuces/ctxdna/internal/compress/xm"
 )
 
-const magic = "CTXDNA1\n"
+// legacyMagic headed the pre-armor container format: no checksums, no
+// length, no tamper detection. It is recognized only to point users at
+// recompression.
+const legacyMagic = "CTXDNA1\n"
 
 func main() {
 	var (
@@ -68,6 +77,11 @@ func main() {
 		faultSeed  = flag.Uint64("fault-seed", 2015, "seed for the fault schedule and retry jitter in exchange mode")
 	)
 	flag.Parse()
+	if err := validateFlags(*faultRate, *retries); err != nil {
+		fmt.Fprintln(os.Stderr, "dnacomp:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	var err error
 	switch {
 	case *exchange:
@@ -83,6 +97,20 @@ func main() {
 	}
 }
 
+// validateFlags rejects nonsensical exchange knobs up front: a fault rate
+// is a probability, and a negative retry budget has no meaning. Failing
+// fast with a usage error beats a fault schedule that silently never fires
+// or a retry loop with undefined bounds.
+func validateFlags(faultRate float64, retries int) error {
+	if faultRate < 0 || faultRate > 1 {
+		return fmt.Errorf("-fault-rate %v is not a probability: must be in [0,1]", faultRate)
+	}
+	if retries < 0 {
+		return fmt.Errorf("-retries %d is negative: must be >= 0", retries)
+	}
+	return nil
+}
+
 func run(codecName string, decompress bool, output string, quiet bool, args []string) error {
 	in, name, err := openInput(args)
 	if err != nil {
@@ -93,19 +121,50 @@ func run(codecName string, decompress bool, output string, quiet bool, args []st
 	if err != nil {
 		return fmt.Errorf("reading %s: %w", name, err)
 	}
-	out := os.Stdout
-	if output != "" {
-		f, err := os.Create(output)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		out = f
-	}
+	var result []byte
 	if decompress {
-		return doDecompress(raw, out, quiet)
+		result, err = doDecompress(raw, quiet)
+	} else {
+		result, err = doCompress(codecName, raw, quiet)
 	}
-	return doCompress(codecName, raw, out, quiet)
+	if err != nil {
+		return err
+	}
+	return writeOutput(output, result)
+}
+
+// writeOutput sends result to stdout, or writes it atomically to path so a
+// crash mid-write never leaves a truncated file where output was expected.
+func writeOutput(path string, result []byte) error {
+	if path == "" {
+		_, err := os.Stdout.Write(result)
+		return err
+	}
+	return atomicWriteFile(path, result, 0o644)
+}
+
+// atomicWriteFile writes data to a temp file in path's directory and
+// renames it into place, so path only ever holds complete content.
+func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op once the rename has claimed it
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path)
 }
 
 // runExchange pushes the cleansed input through the full exchange loop —
@@ -167,34 +226,25 @@ func openInput(args []string) (io.ReadCloser, string, error) {
 	return f, args[0], nil
 }
 
-func doCompress(codecName string, raw []byte, out io.Writer, quiet bool) error {
+func doCompress(codecName string, raw []byte, quiet bool) ([]byte, error) {
 	codec, err := compress.New(codecName)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	symbols, stats := cleanse(raw)
 	if len(symbols) == 0 {
-		return fmt.Errorf("input contains no ACGT bases")
+		return nil, fmt.Errorf("input contains no ACGT bases")
 	}
 	data, st, err := codec.Compress(symbols)
 	if err != nil {
-		return err
-	}
-	if _, err := io.WriteString(out, magic); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(out, "%s\n", codec.Name()); err != nil {
-		return err
-	}
-	if _, err := out.Write(data); err != nil {
-		return err
+		return nil, err
 	}
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "dnacomp: %s: %d bases -> %d bytes (%.3f bits/base, dropped %d non-ACGT), modeled %.1f ms / %.1f MB on the reference core\n",
 			codec.Name(), len(symbols), len(data), compress.Ratio(len(symbols), len(data)),
 			stats.Ambiguous+stats.Other, float64(st.WorkNS)/1e6, float64(st.PeakMem)/(1<<20))
 	}
-	return nil
+	return compress.Seal(codec.Name(), symbols, data), nil
 }
 
 func cleanse(raw []byte) ([]byte, seq.CleanStats) {
@@ -298,42 +348,28 @@ func batchOne(cache *compress.Cache, codecName, outDir, in string) (string, erro
 	if outDir != "" {
 		outPath = filepath.Join(outDir, filepath.Base(in)+"."+codecName)
 	}
-	var buf bytes.Buffer
-	buf.WriteString(magic)
-	buf.WriteString(codecName)
-	buf.WriteByte('\n')
-	buf.Write(r.Data)
-	if err := os.WriteFile(outPath, buf.Bytes(), 0o644); err != nil {
+	// r.Data is already a sealed armored frame; write it atomically so a
+	// crashed batch never leaves truncated containers among good ones.
+	if err := atomicWriteFile(outPath, r.Data, 0o644); err != nil {
 		return "", err
 	}
 	return fmt.Sprintf("dnacomp: %s: %s: %d bases -> %d bytes (%.3f bits/base)",
-		codecName, in, r.Bases, len(r.Data), compress.Ratio(r.Bases, len(r.Data))), nil
+		codecName, in, r.Bases, r.PayloadBytes, compress.Ratio(r.Bases, r.PayloadBytes)), nil
 }
 
-func doDecompress(raw []byte, out io.Writer, quiet bool) error {
-	if !bytes.HasPrefix(raw, []byte(magic)) {
-		return fmt.Errorf("not a dnacomp container (missing %q header)", strings.TrimSpace(magic))
+func doDecompress(raw []byte, quiet bool) ([]byte, error) {
+	if bytes.HasPrefix(raw, []byte(legacyMagic)) {
+		return nil, fmt.Errorf("legacy un-armored container (%q header): it carries no checksums; recompress the source with this version",
+			strings.TrimSpace(legacyMagic))
 	}
-	rest := raw[len(magic):]
-	nl := bytes.IndexByte(rest, '\n')
-	if nl < 0 {
-		return fmt.Errorf("truncated container header")
-	}
-	codecName := string(rest[:nl])
-	codec, err := compress.New(codecName)
+	symbols, st, err := compress.SafeDecompress("", raw, compress.Limits{})
 	if err != nil {
-		return err
-	}
-	symbols, st, err := codec.Decompress(rest[nl+1:])
-	if err != nil {
-		return err
-	}
-	if _, err := out.Write(seq.Decode(symbols)); err != nil {
-		return err
+		return nil, err
 	}
 	if !quiet {
-		fmt.Fprintf(os.Stderr, "dnacomp: %s: restored %d bases, modeled %.1f ms\n",
-			codecName, len(symbols), float64(st.WorkNS)/1e6)
+		fr, _ := compress.Open(raw)
+		fmt.Fprintf(os.Stderr, "dnacomp: %s: restored %d bases (checksums verified), modeled %.1f ms\n",
+			fr.Codec, len(symbols), float64(st.WorkNS)/1e6)
 	}
-	return nil
+	return seq.Decode(symbols), nil
 }

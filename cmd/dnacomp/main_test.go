@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -98,11 +99,100 @@ func TestContainerSelfDescribes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.HasPrefix(data, []byte(magic)) {
-		t.Fatal("container missing magic")
+	if !bytes.HasPrefix(data, []byte(compress.FrameMagic)) {
+		t.Fatal("container missing armored-frame magic")
 	}
 	if !bytes.Contains(data[:32], []byte("gencompress")) {
 		t.Fatal("container missing codec name")
+	}
+	fr, err := compress.Open(data)
+	if err != nil {
+		t.Fatalf("container is not a valid frame: %v", err)
+	}
+	if fr.Codec != "gencompress" {
+		t.Fatalf("frame records codec %q", fr.Codec)
+	}
+}
+
+// TestDecompressRejectsCorruptedFile: a compressed file with one flipped
+// byte must be refused with compress.ErrCorrupt, never silently
+// mis-restored.
+func TestDecompressRejectsCorruptedFile(t *testing.T) {
+	p := synth.Profile{Length: 2000, GC: 0.5}
+	in := writeTemp(t, "seq.txt", p.GenerateASCII(5))
+	packed := filepath.Join(t.TempDir(), "seq.dnax")
+	if err := run("dnax", false, packed, true, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x10
+	corrupted := writeTemp(t, "corrupt.dnax", data)
+	restored := filepath.Join(t.TempDir(), "restored.txt")
+	err = run("", true, restored, true, []string{corrupted})
+	if err == nil {
+		t.Fatal("corrupted container accepted")
+	}
+	if !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if _, statErr := os.Stat(restored); !os.IsNotExist(statErr) {
+		t.Fatalf("output file exists after failed decompress (atomic write violated): %v", statErr)
+	}
+}
+
+// TestLegacyContainerRefusedClearly: the pre-armor format is named in the
+// error so users know to recompress rather than chase a corruption report.
+func TestLegacyContainerRefusedClearly(t *testing.T) {
+	legacy := append([]byte(legacyMagic), []byte("dnax\nabc")...)
+	err := run("", true, "", true, []string{writeTemp(t, "old.bin", legacy)})
+	if err == nil || !strings.Contains(err.Error(), "legacy") {
+		t.Fatalf("legacy container error %v does not say it is legacy", err)
+	}
+}
+
+// TestValidateFlags: exchange knobs outside their domain fail fast.
+func TestValidateFlags(t *testing.T) {
+	for _, tc := range []struct {
+		rate    float64
+		retries int
+		ok      bool
+	}{
+		{0, 0, true}, {1, 0, true}, {0.5, 8, true},
+		{-0.1, 0, false}, {1.01, 0, false}, {0, -1, false},
+	} {
+		err := validateFlags(tc.rate, tc.retries)
+		if (err == nil) != tc.ok {
+			t.Errorf("validateFlags(%v, %d) = %v, want ok=%v", tc.rate, tc.retries, err, tc.ok)
+		}
+	}
+}
+
+// TestAtomicWriteFile: the write lands complete under the final name, the
+// temp file is gone, and a failed write leaves the previous content intact.
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := atomicWriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("content %q", got)
+	}
+	if err := atomicWriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("overwrite content %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "out.bin" {
+		t.Fatalf("stray temp files left behind: %v", entries)
 	}
 }
 
@@ -196,7 +286,7 @@ func TestErrors(t *testing.T) {
 	if err := run("dnax", false, "", true, []string{filepath.Join(t.TempDir(), "missing.txt")}); err == nil {
 		t.Error("missing input accepted")
 	}
-	truncated := append([]byte(magic), []byte("dnax")...) // no newline terminator
+	truncated := []byte(compress.FrameMagic + "\x01") // magic but nothing else
 	if err := run("", true, "", true, []string{writeTemp(t, "t.bin", truncated)}); err == nil {
 		t.Error("truncated header accepted")
 	}

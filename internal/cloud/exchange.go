@@ -1,7 +1,6 @@
 package cloud
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -75,6 +74,9 @@ type ExchangeOptions struct {
 	// Cleanup deletes the BLOB (with the same retry schedule) after the
 	// round trip is verified.
 	Cleanup bool
+	// Limits bounds what the receiving VM will decompress; the zero value
+	// applies the compress package defaults.
+	Limits compress.Limits
 }
 
 // ExchangeReport is the outcome of one fault-tolerant exchange: modeled
@@ -83,7 +85,10 @@ type ExchangeReport struct {
 	Codec           string
 	OriginalBases   int
 	CompressedBytes int
-	BitsPerBase     float64
+	// FrameBytes is what actually travels: the codec payload sealed inside
+	// the armored frame (header + checksums).
+	FrameBytes  int
+	BitsPerBase float64
 	// Modeled stage times. Upload/Download charge the full op cost per
 	// attempt (a failed PUT still converted and pushed the stream), and
 	// RetryWaitMS adds the modeled backoff waits.
@@ -110,12 +115,16 @@ func (r ExchangeReport) AttemptCount() int {
 }
 
 // Exchange runs the paper's Figure 1 pipeline against a possibly-faulty
-// store: compress src with the named codec on the client VM, upload the
-// BLOB, download it at the fixed Azure VM, decompress, and verify the round
-// trip byte for byte. Transient store failures (and per-op timeouts) are
-// retried under opts.Retry; permanent failures and ctx cancellation abort
-// immediately. On failure the returned report still carries the traces
-// collected so far.
+// store: compress src with the named codec on the client VM, seal the
+// stream into an armored frame, upload the BLOB, download it at the fixed
+// Azure VM, and restore it through compress.SafeDecompress. Integrity is
+// proven the way a real receiving VM must prove it — from the frame's own
+// checksums over the payload and the restored output — not by comparing
+// against source bytes the receiver would never have. Transient store
+// failures (and per-op timeouts) are retried under opts.Retry; permanent
+// failures and ctx cancellation abort immediately; a corrupted download
+// surfaces as compress.ErrCorrupt. On failure the returned report still
+// carries the traces collected so far.
 func Exchange(ctx context.Context, client VM, store Store, codecName string, src []byte, opts ExchangeOptions) (ExchangeReport, error) {
 	rep := ExchangeReport{Codec: codecName, OriginalBases: len(src)}
 	if store == nil {
@@ -139,7 +148,9 @@ func Exchange(ctx context.Context, client VM, store Store, codecName string, src
 	if err != nil {
 		return rep, fmt.Errorf("cloud: compress: %w", err)
 	}
+	frame := compress.Seal(codecName, src, data)
 	rep.CompressedBytes = len(data)
+	rep.FrameBytes = len(frame)
 	rep.BitsPerBase = compress.Ratio(len(src), len(data))
 	rep.CompressMS = client.ExecMS(cst)
 
@@ -148,10 +159,10 @@ func Exchange(ctx context.Context, client VM, store Store, codecName string, src
 	}
 
 	put, err := retryOp(ctx, opts, "put", func() error {
-		return store.Put(opts.Container, opts.Blob, data)
+		return store.Put(opts.Container, opts.Blob, frame)
 	})
 	rep.Traces = append(rep.Traces, put)
-	rep.UploadMS = client.UploadMS(len(data)) * float64(put.Attempts)
+	rep.UploadMS = client.UploadMS(len(frame)) * float64(put.Attempts)
 	rep.RetryWaitMS = sumBackoff(rep.Traces)
 	if err != nil {
 		return rep, fmt.Errorf("cloud: upload: %w", err)
@@ -164,18 +175,18 @@ func Exchange(ctx context.Context, client VM, store Store, codecName string, src
 		return gerr
 	})
 	rep.Traces = append(rep.Traces, get)
-	rep.DownloadMS = AzureVM.DownloadMS(len(data)) * float64(get.Attempts)
+	rep.DownloadMS = AzureVM.DownloadMS(len(frame)) * float64(get.Attempts)
 	rep.RetryWaitMS = sumBackoff(rep.Traces)
 	if err != nil {
 		return rep, fmt.Errorf("cloud: download: %w", err)
 	}
 
-	restored, dst, err := codec.Decompress(fetched)
+	// The receiving VM restores and verifies from the frame alone: header
+	// and payload checksums, contained codec execution, and the restored
+	// output's length and checksum. No source bytes are consulted.
+	_, dst, err := compress.SafeDecompress(codecName, fetched, opts.Limits)
 	if err != nil {
 		return rep, fmt.Errorf("cloud: decompress: %w", err)
-	}
-	if !bytes.Equal(restored, src) {
-		return rep, fmt.Errorf("cloud: round trip mismatch: %d bases in, %d out", len(src), len(restored))
 	}
 	rep.DecompressMS = AzureVM.ExecMS(dst)
 

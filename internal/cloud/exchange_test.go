@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -8,6 +9,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
 
 	_ "github.com/srl-nuces/ctxdna/internal/compress/dnax"
 	_ "github.com/srl-nuces/ctxdna/internal/compress/gzipx"
@@ -49,6 +52,71 @@ func TestExchangeRoundTripPlainStore(t *testing.T) {
 	// A second exchange into the same (now existing) container must work.
 	if _, err := Exchange(context.Background(), chaosClient, store, "dnax", src, ExchangeOptions{Blob: "again"}); err != nil {
 		t.Fatalf("existing container rejected: %v", err)
+	}
+}
+
+// TestExchangeBlobIsArmoredFrame: what lands in the store is a sealed frame
+// that restores the exact source — the old source-bytes comparison lives on
+// here, in the test, where the source is legitimately available.
+func TestExchangeBlobIsArmoredFrame(t *testing.T) {
+	store := NewBlobStore()
+	src := symbols(4096, 9)
+	rep, err := Exchange(context.Background(), chaosClient, store, "dnax", src, ExchangeOptions{Blob: "keep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := store.Get("exchange", "keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != rep.FrameBytes {
+		t.Fatalf("stored blob is %d bytes, report says %d", len(frame), rep.FrameBytes)
+	}
+	if rep.FrameBytes != rep.CompressedBytes+compress.Overhead("dnax") {
+		t.Fatalf("frame %d bytes, payload %d: armor overhead off", rep.FrameBytes, rep.CompressedBytes)
+	}
+	restored, _, err := compress.SafeDecompress("dnax", frame, compress.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored, src) {
+		t.Fatal("stored frame does not restore the source")
+	}
+}
+
+// corruptingStore delivers blobs with their last byte flipped — transport
+// corruption the retry layer cannot see and a real receiver has no source
+// bytes to diff against.
+type corruptingStore struct{ Store }
+
+func (s corruptingStore) Get(container, blob string) ([]byte, error) {
+	data, err := s.Store.Get(container, blob)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), data...)
+	out[len(out)-1] ^= 0x01
+	return out, nil
+}
+
+// TestExchangeDetectsCorruptionFromFrameAlone is the acceptance test for
+// the armored exchange: an injected payload corruption is caught by the
+// frame checksum on the receiving side — no source comparison anywhere in
+// the pipeline — and classified as compress.ErrCorrupt.
+func TestExchangeDetectsCorruptionFromFrameAlone(t *testing.T) {
+	store := corruptingStore{NewBlobStore()}
+	rep, err := Exchange(context.Background(), chaosClient, store, "dnax", symbols(2048, 7), ExchangeOptions{
+		Retry: DefaultRetryPolicy(),
+	})
+	if err == nil {
+		t.Fatal("corrupted download accepted")
+	}
+	if !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	// The damage was detected after transport succeeded: no retries burned.
+	if rep.AttemptCount() != 2 {
+		t.Fatalf("corruption misclassified as transient: %+v", rep.Traces)
 	}
 }
 

@@ -7,13 +7,20 @@ import (
 	"sync"
 )
 
-// Result is one cached compression outcome: the compressed stream plus the
-// modeled cost of producing and reversing it. Entries are only stored after
-// a verified round-trip, so a cache hit is as trustworthy as a fresh run.
+// Result is one cached compression outcome: the sealed armored frame plus
+// the modeled cost of producing and reversing it. Entries are only stored
+// after a verified round-trip, so a cache hit is as trustworthy as a fresh
+// run.
 type Result struct {
-	// Data is the compressed stream. Both Put and Get copy it, so a caller
-	// may mutate the slice it holds without corrupting other callers.
+	// Data is the sealed armored frame (Seal output): header, checksums and
+	// codec payload, ready to write to disk or ship over a store. Both Put
+	// and Get copy it, so a caller may mutate the slice it holds without
+	// corrupting other callers.
 	Data []byte
+	// PayloadBytes is the codec payload size inside the frame — the
+	// compressed-size figure grids and reports quote, armor overhead
+	// excluded.
+	PayloadBytes int
 	// Bases is the original sequence length, kept as a collision tripwire.
 	Bases         int
 	CompressStats Stats
@@ -102,7 +109,8 @@ func (c *Cache) Counters() (hits, misses uint64) {
 }
 
 // CompressCached returns the cached result for (codec, src) or compresses
-// src with a fresh codec instance, verifies the round-trip byte-for-byte,
+// src with a fresh codec instance, seals the stream into an armored frame,
+// verifies the round-trip byte-for-byte through the hardened decode path,
 // stores the outcome, and returns it. cache may be nil (always compresses).
 func CompressCached(cache *Cache, codecName string, src []byte) (Result, error) {
 	key := ContentKey(codecName, src)
@@ -117,14 +125,17 @@ func CompressCached(cache *Cache, codecName string, src []byte) (Result, error) 
 	if err != nil {
 		return Result{}, err
 	}
-	restored, dst, err := c.Decompress(data)
+	frame := Seal(codecName, src, data)
+	// Verifying through SafeDecompress exercises the exact path a receiver
+	// runs, so a cached frame is known to open, decode and checksum clean.
+	restored, dst, err := SafeDecompress(codecName, frame, Limits{MaxCompressed: -1, MaxOutput: -1})
 	if err != nil {
 		return Result{}, fmt.Errorf("decompress: %w", err)
 	}
 	if !bytes.Equal(restored, src) {
 		return Result{}, fmt.Errorf("round-trip mismatch: %d bases in, %d out", len(src), len(restored))
 	}
-	r := Result{Data: data, Bases: len(src), CompressStats: cst, DecompStats: dst}
+	r := Result{Data: frame, PayloadBytes: len(data), Bases: len(src), CompressStats: cst, DecompStats: dst}
 	cache.Put(key, r)
 	return r, nil
 }

@@ -49,16 +49,19 @@ func TestCompressCachedHitsAndMisses(t *testing.T) {
 		t.Errorf("cache holds %d entries, want 1", cache.Len())
 	}
 
-	// Different content under the same codec must miss and round-trip.
+	// Different content under the same codec must miss and round-trip
+	// through the armored frame the cache now stores.
 	other := append(append([]byte(nil), src...), 3)
 	r3, err := compress.CompressCached(cache, "dnapack", other)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, _ := compress.New("dnapack")
-	restored, _, err := c.Decompress(r3.Data)
+	restored, _, err := compress.SafeDecompress("dnapack", r3.Data, compress.Limits{})
 	if err != nil || !bytes.Equal(restored, other) {
 		t.Fatalf("second entry round-trip broken: %v", err)
+	}
+	if r3.PayloadBytes <= 0 || r3.PayloadBytes >= len(r3.Data) {
+		t.Fatalf("PayloadBytes %d not inside frame of %d bytes", r3.PayloadBytes, len(r3.Data))
 	}
 }
 
@@ -161,8 +164,7 @@ func TestCompressCachedHitAliasing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, _ := compress.New("dnapack")
-	restored, _, err := c.Decompress(again.Data)
+	restored, _, err := compress.SafeDecompress("dnapack", again.Data, compress.Limits{})
 	if err != nil || !bytes.Equal(restored, src) {
 		t.Fatalf("cached entry no longer round-trips after a hit was mutated: %v", err)
 	}

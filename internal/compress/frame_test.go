@@ -1,0 +1,115 @@
+package compress_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	src := bytes.Repeat([]byte{0, 1, 2, 3}, 100)
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x00}
+	frame := compress.Seal("dnapack", src, payload)
+
+	if got, want := len(frame), compress.Overhead("dnapack")+len(payload); got != want {
+		t.Fatalf("frame length %d, want %d", got, want)
+	}
+	if !bytes.HasPrefix(frame, []byte(compress.FrameMagic)) {
+		t.Fatal("frame does not start with the magic")
+	}
+	fr, err := compress.Open(frame)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if fr.Codec != "dnapack" {
+		t.Errorf("Codec = %q, want dnapack", fr.Codec)
+	}
+	if fr.Bases != len(src) {
+		t.Errorf("Bases = %d, want %d", fr.Bases, len(src))
+	}
+	if fr.OutputSum != compress.Checksum(src) {
+		t.Errorf("OutputSum = %08x, want %08x", fr.OutputSum, compress.Checksum(src))
+	}
+	if !bytes.Equal(fr.Payload, payload) {
+		t.Errorf("Payload = %x, want %x", fr.Payload, payload)
+	}
+}
+
+func TestSealEmptyPayloadAndSource(t *testing.T) {
+	frame := compress.Seal("xm", nil, nil)
+	fr, err := compress.Open(frame)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if fr.Bases != 0 || len(fr.Payload) != 0 || fr.Codec != "xm" {
+		t.Fatalf("empty frame parsed as %+v", fr)
+	}
+}
+
+func TestSealRejectsBadCodecName(t *testing.T) {
+	for _, name := range []string{"", strings.Repeat("x", 65)} {
+		name := name
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Seal accepted codec name of length %d", len(name))
+				}
+			}()
+			compress.Seal(name, nil, nil)
+		}()
+	}
+}
+
+// TestOpenRejectsMalformed drives Open through every header failure class;
+// each must satisfy errors.Is(err, ErrCorrupt).
+func TestOpenRejectsMalformed(t *testing.T) {
+	payload := []byte{1, 2, 3, 4}
+	frame := compress.Seal("dnax", []byte{0, 1}, payload)
+	n := len("dnax")
+
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), frame...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"Nil", nil},
+		{"TooShort", frame[:10]},
+		{"BadMagic", mutate(func(b []byte) { b[0] = 'X' })},
+		{"BadVersion", mutate(func(b []byte) { b[4] = 99 })},
+		{"ZeroNameLen", mutate(func(b []byte) { b[5] = 0 })},
+		{"HugeNameLen", mutate(func(b []byte) { b[5] = 255 })},
+		{"HeaderBitFlip", mutate(func(b []byte) { b[6+n] ^= 1 })},
+		{"PayloadBitFlip", mutate(func(b []byte) { b[len(b)-1] ^= 1 })},
+		{"Truncated", frame[:len(frame)-2]},
+		{"Extended", append(append([]byte(nil), frame...), 0xFF)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := compress.Open(tc.data); !errors.Is(err, compress.ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestOpenPayloadAliases pins the documented aliasing contract: Payload is
+// a view into the caller's buffer, not a copy.
+func TestOpenPayloadAliases(t *testing.T) {
+	frame := compress.Seal("dnax", []byte{1, 2}, []byte{9, 9, 9})
+	fr, err := compress.Open(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Payload[0] = 7
+	if frame[len(frame)-3] != 7 {
+		t.Fatal("Payload does not alias the input buffer")
+	}
+}

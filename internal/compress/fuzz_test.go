@@ -2,6 +2,7 @@ package compress_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"github.com/srl-nuces/ctxdna/internal/compress"
@@ -90,12 +91,9 @@ func FuzzCacheKey(f *testing.F) {
 		if !bytes.Equal(r1.Data, r2.Data) {
 			t.Fatal("hit returned different bytes than the cold run")
 		}
-		// Never a stale round-trip: the cached stream restores src exactly.
-		c, err := compress.New(codec)
-		if err != nil {
-			t.Fatal(err)
-		}
-		restored, _, err := c.Decompress(r2.Data)
+		// Never a stale round-trip: the cached frame restores src exactly
+		// through the hardened decode path.
+		restored, _, err := compress.SafeDecompress(codec, r2.Data, compress.Limits{})
 		if err != nil {
 			t.Fatalf("decompress cached stream: %v", err)
 		}
@@ -121,6 +119,38 @@ func FuzzCacheKey(f *testing.F) {
 		}
 		if compress.ContentKey(codec, src) == compress.ContentKey("xm", src) {
 			t.Fatal("distinct codecs share a key")
+		}
+	})
+}
+
+// FuzzFrameOpen hammers the armored-frame parser with arbitrary bytes: it
+// must never panic, every rejection must be ErrCorrupt, and anything it
+// accepts must reseal byte-identically — Open and SealSum are inverses, so
+// no two distinct frames can parse to the same view.
+func FuzzFrameOpen(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(compress.FrameMagic))
+	f.Add(compress.Seal("dnapack", []byte{0, 1, 2, 3}, []byte{9, 9}))
+	f.Add(compress.Seal("xm", nil, nil))
+	{
+		b := compress.Seal("dnax", []byte{1, 2, 3}, bytes.Repeat([]byte{7}, 40))
+		b[10] ^= 0x01
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		fr, err := compress.Open(data)
+		if err != nil {
+			if !errors.Is(err, compress.ErrCorrupt) {
+				t.Fatalf("Open rejection %v is not ErrCorrupt", err)
+			}
+			return
+		}
+		resealed := compress.SealSum(fr.Codec, fr.Bases, fr.OutputSum, fr.Payload)
+		if !bytes.Equal(resealed, data) {
+			t.Fatalf("accepted frame does not reseal identically (%d vs %d bytes)", len(resealed), len(data))
 		}
 	})
 }

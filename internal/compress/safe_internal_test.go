@@ -1,0 +1,65 @@
+package compress
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// panicCodec decompresses by crashing — the hostile-stream worst case
+// SafeDecompress must contain. It is registered only for the duration of
+// the tests below and removed again so the registry the rest of this
+// binary's tests enumerate stays the real one.
+type panicCodec struct{}
+
+func (panicCodec) Name() string { return "zzpanic" }
+func (panicCodec) Compress(src []byte) ([]byte, Stats, error) {
+	return append([]byte(nil), src...), Stats{WorkNS: 1, PeakMem: 1}, nil
+}
+func (panicCodec) Decompress(data []byte) ([]byte, Stats, error) {
+	panic("deliberate decoder crash")
+}
+
+func withPanicCodec(t *testing.T, f func()) {
+	t.Helper()
+	Register("zzpanic", func() Codec { return panicCodec{} })
+	defer delete(registry, "zzpanic")
+	f()
+}
+
+// TestSafeDecompressContainsPanic: a panicking decoder behind an
+// internally consistent frame must surface as ErrCorrupt, not crash.
+func TestSafeDecompressContainsPanic(t *testing.T) {
+	withPanicCodec(t, func() {
+		src := []byte{0, 1, 2, 3}
+		frame := Seal("zzpanic", src, src)
+		_, _, err := SafeDecompress("zzpanic", frame, Limits{})
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+		if !strings.Contains(err.Error(), "panicked") {
+			t.Errorf("error %q does not name the panic", err)
+		}
+	})
+}
+
+// TestDecompressRecoveringPassesThrough: a clean decode is untouched by the
+// containment wrapper.
+func TestDecompressRecoveringPassesThrough(t *testing.T) {
+	c, err := New("dnapack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []byte{3, 2, 1, 0, 3, 2, 1, 0}
+	data, _, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st, err := decompressRecovering(c, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(src) || st.WorkNS < 0 {
+		t.Fatalf("wrapper altered the decode: %v %v", out, st)
+	}
+}

@@ -1,0 +1,164 @@
+package compress_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+
+	_ "github.com/srl-nuces/ctxdna/internal/compress/biocompress"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/ctw"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/dnax"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/gencompress"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/gzipx"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/twobit"
+)
+
+func TestSafeDecompressRoundTrip(t *testing.T) {
+	src := bytes.Repeat([]byte{0, 1, 2, 3}, 512)
+	for _, name := range compress.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, err := compress.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload, _, err := c.Compress(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frame := compress.Seal(name, src, payload)
+			out, st, err := compress.SafeDecompress(name, frame, compress.Limits{})
+			if err != nil {
+				t.Fatalf("SafeDecompress: %v", err)
+			}
+			if !bytes.Equal(out, src) {
+				t.Fatalf("restored %d symbols, want %d", len(out), len(src))
+			}
+			if st.WorkNS < 0 {
+				t.Fatal("negative modeled work")
+			}
+		})
+	}
+}
+
+func TestSafeDecompressPinsCodec(t *testing.T) {
+	src := []byte{0, 1, 2, 3}
+	c, _ := compress.New("dnapack")
+	payload, _, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := compress.Seal("dnapack", src, payload)
+	if _, _, err := compress.SafeDecompress("xm", frame, compress.Limits{}); !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("codec pin violation returned %v, want ErrCorrupt", err)
+	}
+	// Empty name accepts whatever the frame records.
+	if _, _, err := compress.SafeDecompress("", frame, compress.Limits{}); err != nil {
+		t.Fatalf("unpinned decode failed: %v", err)
+	}
+}
+
+func TestSafeDecompressUnknownCodec(t *testing.T) {
+	frame := compress.Seal("nosuchcodec", []byte{1}, []byte{1})
+	if _, _, err := compress.SafeDecompress("", frame, compress.Limits{}); !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("unknown codec returned %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSafeDecompressLimits: both ceilings reject before the codec runs, and
+// negative limits mean unlimited.
+func TestSafeDecompressLimits(t *testing.T) {
+	src := bytes.Repeat([]byte{1, 2}, 300)
+	c, _ := compress.New("twobit")
+	payload, _, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := compress.Seal("twobit", src, payload)
+
+	if _, _, err := compress.SafeDecompress("", frame, compress.Limits{MaxOutput: len(src) - 1}); !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("MaxOutput breach returned %v, want ErrCorrupt", err)
+	}
+	if _, _, err := compress.SafeDecompress("", frame, compress.Limits{MaxCompressed: len(payload) - 1}); !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("MaxCompressed breach returned %v, want ErrCorrupt", err)
+	}
+	if _, _, err := compress.SafeDecompress("", frame, compress.Limits{MaxCompressed: -1, MaxOutput: -1}); err != nil {
+		t.Fatalf("unlimited decode failed: %v", err)
+	}
+	if out, _, err := compress.SafeDecompress("", frame, compress.Limits{MaxOutput: len(src)}); err != nil || !bytes.Equal(out, src) {
+		t.Fatalf("exact-limit decode failed: %v", err)
+	}
+}
+
+// garbageSeeds are the FuzzDecompressAll corpus promoted to a deterministic
+// table: CI skips -fuzz campaigns, so the seeds that historically probed
+// decoder edges (varint length bombs, plausible tiny headers, corrupted
+// valid-prefix streams) run on every plain `go test` against every codec.
+func garbageSeeds(t *testing.T) [][]byte {
+	t.Helper()
+	seeds := [][]byte{
+		{},
+		{0x00},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		bytes.Repeat([]byte{0xA5}, 64),
+		{16, 0, 0, 0, 0, 0},          // plausible tiny header
+		{200, 200, 200, 200, 200, 1}, // huge varint length
+		append([]byte{40}, bytes.Repeat([]byte{0x55}, 100)...),
+		bytes.Repeat([]byte{0x00}, 33),
+		{0x01, 0x80, 0xFE, 0x7F, 0x00, 0xC0},
+	}
+	// A valid dnax stream prefix with a corrupted tail — the fuzz seed that
+	// exercises mid-stream arithmetic-decoder desync.
+	c, err := compress.New("dnax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, _, err := c.Compress([]byte{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3}); err == nil {
+		data[len(data)-1] ^= 0xFF
+		seeds = append(seeds, data)
+	}
+	return seeds
+}
+
+// TestDecompressNeverPanics feeds the promoted fuzz seeds to every
+// registered codec, raw and sealed. Raw: the bare decoder must not panic
+// and must not fabricate absurd output. Sealed: SafeDecompress must
+// classify a well-framed garbage payload as ErrCorrupt (or restore it
+// losslessly if the bytes happen to decode — then the checksum proves it).
+func TestDecompressNeverPanics(t *testing.T) {
+	seeds := garbageSeeds(t)
+	for _, name := range compress.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for i, seed := range seeds {
+				i, seed := i, seed
+				t.Run(fmt.Sprintf("seed%02d", i), func(t *testing.T) {
+					c, err := compress.New(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								t.Fatalf("%s: raw Decompress panicked on seed %d: %v", name, i, r)
+							}
+						}()
+						out, _, err := c.Decompress(seed)
+						if err == nil && len(out) > 1<<26 {
+							t.Fatalf("%s: decompressed %d bytes from %d-byte garbage", name, len(out), len(seed))
+						}
+					}()
+					// Sealed with a claimed output that cannot match: the
+					// hardened path must reject, never crash.
+					frame := compress.SealSum(name, len(seed)+1, 0xBADC0DE, seed)
+					if _, _, err := compress.SafeDecompress(name, frame, compress.Limits{}); !errors.Is(err, compress.ErrCorrupt) {
+						t.Fatalf("%s: sealed garbage returned %v, want ErrCorrupt", name, err)
+					}
+				})
+			}
+		})
+	}
+}

@@ -153,8 +153,10 @@ func RunGrid(ctx context.Context, files []synth.File, contexts []cloud.VM, codec
 					continue
 				}
 				runs[slot] = CodecRun{
-					Codec:          name,
-					CompressedSize: len(r.Data),
+					Codec: name,
+					// Payload bytes, not the armored frame: grid figures
+					// measure the codec, not the transport container.
+					CompressedSize: r.PayloadBytes,
 					CompressStats:  r.CompressStats,
 					DecompStats:    r.DecompStats,
 				}

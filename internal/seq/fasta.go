@@ -3,9 +3,25 @@ package seq
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// MaxLineBytes is the longest line the FASTA and FASTQ scanners accept
+// (16 MiB). NCBI-convention files wrap sequences at 60–80 columns, so a
+// line anywhere near this limit is a malformed or hostile file, not data.
+const MaxLineBytes = 16 * 1024 * 1024
+
+// scanErr turns a scanner failure into a seq error, surfacing the
+// otherwise-cryptic bufio.ErrTooLong ("token too long") as a clear
+// line-limit message.
+func scanErr(format string, err error) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("seq: %s: line exceeds the %d MiB line limit: %w", format, MaxLineBytes/(1024*1024), err)
+	}
+	return fmt.Errorf("seq: reading %s: %w", format, err)
+}
 
 // Record is a single FASTA record: a header line (without the leading '>')
 // and the raw sequence text with line breaks removed.
@@ -21,7 +37,7 @@ type Record struct {
 // single-sequence experiments.
 func ReadFASTA(r io.Reader) ([]Record, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
 	var (
 		recs []Record
 		cur  *Record
@@ -44,7 +60,7 @@ func ReadFASTA(r io.Reader) ([]Record, error) {
 		cur.Seq = append(cur.Seq, line...)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("seq: reading FASTA: %w", err)
+		return nil, scanErr("FASTA", err)
 	}
 	return recs, nil
 }

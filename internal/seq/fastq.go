@@ -27,7 +27,7 @@ func (r FASTQRecord) Validate() error {
 // the high-throughput sequencers whose data volumes motivate the paper.
 func ReadFASTQ(r io.Reader) ([]FASTQRecord, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
 	var recs []FASTQRecord
 	line := 0
 	for sc.Scan() {
@@ -41,11 +41,17 @@ func ReadFASTQ(r io.Reader) ([]FASTQRecord, error) {
 		}
 		rec := FASTQRecord{ID: string(head[1:])}
 		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, scanErr("FASTQ", err)
+			}
 			return nil, fmt.Errorf("seq: record %q: missing sequence line", rec.ID)
 		}
 		line++
 		rec.Seq = append([]byte(nil), bytes.TrimSpace(sc.Bytes())...)
 		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, scanErr("FASTQ", err)
+			}
 			return nil, fmt.Errorf("seq: record %q: missing separator line", rec.ID)
 		}
 		line++
@@ -53,6 +59,9 @@ func ReadFASTQ(r io.Reader) ([]FASTQRecord, error) {
 			return nil, fmt.Errorf("seq: record %q: line %d is not a + separator", rec.ID, line)
 		}
 		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, scanErr("FASTQ", err)
+			}
 			return nil, fmt.Errorf("seq: record %q: missing quality line", rec.ID)
 		}
 		line++
@@ -63,7 +72,7 @@ func ReadFASTQ(r io.Reader) ([]FASTQRecord, error) {
 		recs = append(recs, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("seq: reading FASTQ: %w", err)
+		return nil, scanErr("FASTQ", err)
 	}
 	return recs, nil
 }

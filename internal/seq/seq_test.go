@@ -1,8 +1,11 @@
 package seq
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -324,4 +327,62 @@ func TestWriteFASTQValidates(t *testing.T) {
 	if err := WriteFASTQ(&buf, bad); err == nil {
 		t.Fatal("mismatched record written")
 	}
+}
+
+// TestOverlongLineSurfacesClearError: a sequence line beyond MaxLineBytes
+// must fail with a message naming the 16 MiB limit (not bufio's cryptic
+// "token too long") while still satisfying errors.Is(err, bufio.ErrTooLong)
+// for callers that classify scanner failures.
+func TestOverlongLineSurfacesClearError(t *testing.T) {
+	long := bytes.Repeat([]byte{'A'}, MaxLineBytes+2)
+
+	t.Run("FASTA", func(t *testing.T) {
+		var in bytes.Buffer
+		in.WriteString(">huge\n")
+		in.Write(long)
+		in.WriteByte('\n')
+		_, err := ReadFASTA(&in)
+		if err == nil {
+			t.Fatal("over-long FASTA line accepted")
+		}
+		if !errors.Is(err, bufio.ErrTooLong) {
+			t.Fatalf("err = %v, want bufio.ErrTooLong in the chain", err)
+		}
+		if !strings.Contains(err.Error(), "16 MiB") {
+			t.Fatalf("error %q does not name the 16 MiB limit", err)
+		}
+	})
+
+	t.Run("FASTQSequenceLine", func(t *testing.T) {
+		var in bytes.Buffer
+		in.WriteString("@read1\n")
+		in.Write(long)
+		in.WriteString("\n+\nIIII\n")
+		_, err := ReadFASTQ(&in)
+		if err == nil {
+			t.Fatal("over-long FASTQ line accepted")
+		}
+		if !errors.Is(err, bufio.ErrTooLong) {
+			t.Fatalf("err = %v, want bufio.ErrTooLong in the chain", err)
+		}
+		if !strings.Contains(err.Error(), "16 MiB") {
+			t.Fatalf("error %q does not name the 16 MiB limit", err)
+		}
+	})
+
+	// Exactly at the limit is still accepted: the guard must not be
+	// off-by-one into legitimate (if unusual) single-line genomes.
+	t.Run("AtLimit", func(t *testing.T) {
+		var in bytes.Buffer
+		in.WriteString(">edge\n")
+		in.Write(bytes.Repeat([]byte{'C'}, MaxLineBytes-1))
+		in.WriteByte('\n')
+		recs, err := ReadFASTA(&in)
+		if err != nil {
+			t.Fatalf("line at the limit rejected: %v", err)
+		}
+		if len(recs) != 1 || len(recs[0].Seq) != MaxLineBytes-1 {
+			t.Fatal("record mangled at the limit")
+		}
+	})
 }
