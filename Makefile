@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz-smoke chaos corruption fmt verify
+.PHONY: all build lint test race fuzz-smoke chaos corruption obs-smoke fmt verify
 
 all: build
 
@@ -12,7 +12,8 @@ build:
 
 # Static analysis: gofmt over the whole tree (examples/ included), the
 # toolchain's vet suite, and dnalint — the repo-invariant analyzers
-# (determinism, errtaxonomy, registerinit, ctxprop, statsadd) — driven
+# (clockinject, determinism, errtaxonomy, registerinit, ctxprop, statsadd)
+# — driven
 # through `go vet -vettool` so it sees the same build graph vet does.
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -48,7 +49,24 @@ corruption:
 chaos:
 	$(GO) test ./internal/cloud -race -count=2 -run 'Faulty|Exchange|Backoff'
 
+# Observability gate: a tiny grid with metrics + trace export enabled must
+# emit well-formed Prometheus text (codec, cache and grid families) and a
+# span trace, and — the acceptance criterion — produce a CSV byte-identical
+# to the same run without any export flags.
+obs-smoke:
+	$(GO) build -o bin/experiment ./cmd/experiment
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	./bin/experiment -files 3 -max-kb 4 -jobs 2 -seed 2015 -out "$$tmp/plain.csv" >/dev/null; \
+	./bin/experiment -files 3 -max-kb 4 -jobs 2 -seed 2015 -out "$$tmp/obs.csv" \
+		-metrics "$$tmp/metrics.prom" -trace "$$tmp/trace.json" >/dev/null; \
+	cmp "$$tmp/plain.csv" "$$tmp/obs.csv" || { echo "obs-smoke: CSV changed with observability enabled"; exit 1; }; \
+	grep -q '^# TYPE dna_codec_calls_total counter' "$$tmp/metrics.prom" || { echo "obs-smoke: missing codec metrics"; exit 1; }; \
+	grep -q '^dna_cache_' "$$tmp/metrics.prom" || { echo "obs-smoke: missing cache metrics"; exit 1; }; \
+	grep -q '^dna_grid_tasks_total' "$$tmp/metrics.prom" || { echo "obs-smoke: missing grid metrics"; exit 1; }; \
+	grep -q '"name": "experiment.grid"' "$$tmp/trace.json" || { echo "obs-smoke: missing grid span"; exit 1; }; \
+	echo "obs-smoke: ok"
+
 fmt:
 	gofmt -w .
 
-verify: lint build race chaos corruption
+verify: lint build race chaos corruption obs-smoke

@@ -27,6 +27,7 @@ import (
 	"github.com/srl-nuces/ctxdna/internal/dtree"
 	"github.com/srl-nuces/ctxdna/internal/experiment"
 	"github.com/srl-nuces/ctxdna/internal/match"
+	"github.com/srl-nuces/ctxdna/internal/obs"
 	"github.com/srl-nuces/ctxdna/internal/stats"
 	"github.com/srl-nuces/ctxdna/internal/synth"
 
@@ -407,6 +408,74 @@ func BenchmarkAblationThrash(b *testing.B) {
 			b.ReportMetric(ms, "exec_ms")
 		})
 	}
+}
+
+// --- Observability (DESIGN.md §11) ---
+
+// BenchmarkInstrumentOverhead compares a raw codec against its
+// compress.Instrument wrapper on the same input. The wrapper pre-resolves
+// its series, so each call adds only a handful of atomic operations; the
+// acceptance target is < 5 % overhead on a real codec's compress path.
+// Run both sub-benchmarks and compare ns/op (e.g. with benchstat).
+func BenchmarkInstrumentOverhead(b *testing.B) {
+	src := ablateSeq()
+	newCodec := func() compress.Codec {
+		c, err := compress.New("dnax")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	b.Run("raw", func(b *testing.B) {
+		c := newCodec()
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Compress(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		c := compress.Instrument(obs.NewRegistry(), newCodec())
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Compress(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkInstrumentWrapperFloor isolates the wrapper's own cost with a
+// near-free codec (twobit packing), the worst case for relative overhead:
+// if even here the delta is small, real codecs cannot notice it.
+func BenchmarkInstrumentWrapperFloor(b *testing.B) {
+	src := ablateSeq()[:4096]
+	newCodec := func() compress.Codec {
+		c, err := compress.New("twobit")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	b.Run("raw", func(b *testing.B) {
+		c := newCodec()
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Compress(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		c := compress.Instrument(obs.NewRegistry(), newCodec())
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Compress(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func benchName(prefix string, v int) string {

@@ -45,6 +45,7 @@ import (
 
 	"github.com/srl-nuces/ctxdna/internal/cloud"
 	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/obs"
 	"github.com/srl-nuces/ctxdna/internal/seq"
 
 	_ "github.com/srl-nuces/ctxdna/internal/compress/biocompress"
@@ -75,6 +76,9 @@ func main() {
 		faultRate  = flag.Float64("fault-rate", 0, "transient-fault probability per storage op in exchange mode")
 		retries    = flag.Int("retries", cloud.DefaultRetryPolicy().MaxRetries, "retry budget per storage op in exchange mode")
 		faultSeed  = flag.Uint64("fault-seed", 2015, "seed for the fault schedule and retry jitter in exchange mode")
+		metricsOut = flag.String("metrics", "", "write a Prometheus text metrics snapshot to this file on exit (- for stderr)")
+		traceOut   = flag.String("trace", "", "write the span trace as JSON to this file on exit")
+		pprofAddr  = flag.String("pprof", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if err := validateFlags(*faultRate, *retries); err != nil {
@@ -82,19 +86,73 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Recording always targets the process-wide default registry; the flags
+	// only add exporters, so behavior and output bytes never depend on them.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.System())
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := obs.ServeDebug(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dnacomp: debug server:", err)
+			}
+		}()
+	}
+
 	var err error
 	switch {
 	case *exchange:
-		err = runExchange(*codecName, *faultRate, *retries, *faultSeed, *quiet, flag.Args())
+		err = runExchange(ctx, *codecName, *faultRate, *retries, *faultSeed, *quiet, flag.Args())
 	case *batch:
 		err = runBatch(*codecName, *decompress, *output, *quiet, *jobs, flag.Args())
 	default:
 		err = run(*codecName, *decompress, *output, *quiet, flag.Args())
 	}
+	// Snapshots are written even after a failed run: the metrics of a
+	// failure are exactly what a debugging user wants.
+	if werr := exportObservability(*metricsOut, *traceOut, tracer); werr != nil && err == nil {
+		err = werr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnacomp:", err)
 		os.Exit(1)
 	}
+}
+
+// exportObservability writes the requested metrics / trace snapshots.
+// "-" for metrics means stderr, keeping stdout clean for pipeline output.
+func exportObservability(metricsOut, traceOut string, tracer *obs.Tracer) error {
+	if metricsOut != "" {
+		if metricsOut == "-" {
+			if err := obs.Default().WritePrometheus(os.Stderr); err != nil {
+				return fmt.Errorf("write metrics: %w", err)
+			}
+		} else if err := writeFileWith(metricsOut, obs.Default().WritePrometheus); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	if traceOut != "" && tracer != nil {
+		if err := writeFileWith(traceOut, tracer.WriteJSON); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // validateFlags rejects nonsensical exchange knobs up front: a fault rate
@@ -170,8 +228,9 @@ func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
 // runExchange pushes the cleansed input through the full exchange loop —
 // compress on a modeled lab client, upload to (optionally fault-injected)
 // BLOB storage, download at the datacenter, decompress and verify — and
-// reports the modeled stage times and the retry trace.
-func runExchange(codecName string, faultRate float64, retries int, faultSeed uint64, quiet bool, args []string) error {
+// reports the modeled stage times and the retry trace. ctx carries the
+// tracer when -trace is set; metrics go to the default registry.
+func runExchange(ctx context.Context, codecName string, faultRate float64, retries int, faultSeed uint64, quiet bool, args []string) error {
 	in, name, err := openInput(args)
 	if err != nil {
 		return err
@@ -194,7 +253,7 @@ func runExchange(codecName string, faultRate float64, retries int, faultSeed uin
 	policy.MaxRetries = retries
 	policy.Seed = faultSeed
 	client := cloud.Grid()[0] // a representative slow lab guest
-	rep, err := cloud.Exchange(context.Background(), client, store, codecName, symbols, cloud.ExchangeOptions{
+	rep, err := cloud.Exchange(ctx, client, store, codecName, symbols, cloud.ExchangeOptions{
 		Blob:    filepath.Base(name),
 		Retry:   policy,
 		Cleanup: true,
@@ -231,6 +290,7 @@ func doCompress(codecName string, raw []byte, quiet bool) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	codec = compress.Instrument(nil, codec)
 	symbols, stats := cleanse(raw)
 	if len(symbols) == 0 {
 		return nil, fmt.Errorf("input contains no ACGT bases")
@@ -363,13 +423,19 @@ func doDecompress(raw []byte, quiet bool) ([]byte, error) {
 			strings.TrimSpace(legacyMagic))
 	}
 	symbols, st, err := compress.SafeDecompress("", raw, compress.Limits{})
+	// The frame header names the codec; a frame too corrupt to open books
+	// under "unknown" so failed restores are still counted somewhere.
+	codecName := "unknown"
+	if fr, ferr := compress.Open(raw); ferr == nil && fr.Codec != "" {
+		codecName = fr.Codec
+	}
+	compress.ObserveDecompress(nil, codecName, len(raw), len(symbols), st, err)
 	if err != nil {
 		return nil, err
 	}
 	if !quiet {
-		fr, _ := compress.Open(raw)
 		fmt.Fprintf(os.Stderr, "dnacomp: %s: restored %d bases (checksums verified), modeled %.1f ms\n",
-			fr.Codec, len(symbols), float64(st.WorkNS)/1e6)
+			codecName, len(symbols), float64(st.WorkNS)/1e6)
 	}
 	return seq.Decode(symbols), nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -9,6 +11,7 @@ import (
 	"testing"
 
 	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/obs"
 	"github.com/srl-nuces/ctxdna/internal/seq"
 	"github.com/srl-nuces/ctxdna/internal/synth"
 )
@@ -297,20 +300,84 @@ func TestErrors(t *testing.T) {
 func TestExchangeMode(t *testing.T) {
 	p := synth.Profile{Length: 3000, GC: 0.5, RepeatProb: 0.002, RepeatMin: 20, RepeatMax: 100}
 	in := writeTemp(t, "seq.txt", p.GenerateASCII(31))
-	if err := runExchange("dnax", 0, 8, 2015, true, []string{in}); err != nil {
+	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, true, []string{in}); err != nil {
 		t.Fatalf("clean exchange: %v", err)
 	}
-	if err := runExchange("dnax", 0.3, 8, 2015, true, []string{in}); err != nil {
+	if err := runExchange(context.Background(), "dnax", 0.3, 8, 2015, true, []string{in}); err != nil {
 		t.Fatalf("faulty exchange at 30%%: %v", err)
 	}
-	if err := runExchange("nope", 0, 8, 2015, true, []string{in}); err == nil {
+	if err := runExchange(context.Background(), "nope", 0, 8, 2015, true, []string{in}); err == nil {
 		t.Error("unknown codec accepted in exchange mode")
 	}
-	if err := runExchange("dnax", 0, 8, 2015, true, []string{writeTemp(t, "n.txt", []byte("123"))}); err == nil {
+	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, true, []string{writeTemp(t, "n.txt", []byte("123"))}); err == nil {
 		t.Error("no-ACGT input accepted in exchange mode")
 	}
 	// A retry budget of zero against a certain first-attempt fault fails.
-	if err := runExchange("dnax", 1, 0, 2015, true, []string{in}); err == nil {
+	if err := runExchange(context.Background(), "dnax", 1, 0, 2015, true, []string{in}); err == nil {
 		t.Error("always-failing store with no retries reported success")
+	}
+}
+
+// TestObservabilityExports: compressing, decompressing and exchanging feed
+// the default registry, and exportObservability writes well-formed metrics
+// and trace snapshots from it.
+func TestObservabilityExports(t *testing.T) {
+	dir := t.TempDir()
+	p := synth.Profile{Length: 2000, GC: 0.5}
+	in := writeTemp(t, "seq.txt", p.GenerateASCII(41))
+	packed := filepath.Join(dir, "seq.dnax")
+	restored := filepath.Join(dir, "seq.out")
+	if err := run("dnax", false, packed, true, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", true, restored, true, []string{packed}); err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(obs.System())
+	ctx := obs.WithTracer(context.Background(), tracer)
+	if err := runExchange(ctx, "dnax", 0, 8, 2015, true, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := filepath.Join(dir, "metrics.prom")
+	trace := filepath.Join(dir, "trace.json")
+	if err := exportObservability(metrics, trace, tracer); err != nil {
+		t.Fatal(err)
+	}
+	prom, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`dna_codec_calls_total{codec="dnax",op="compress"}`,
+		`dna_codec_calls_total{codec="dnax",op="decompress"}`,
+		"dna_exchange_total",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Spans []obs.SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	found := false
+	for _, s := range doc.Spans {
+		if s.Name == "cloud.exchange" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace missing cloud.exchange span: %+v", doc.Spans)
+	}
+	// Exporting nothing is a no-op, not an error.
+	if err := exportObservability("", "", nil); err != nil {
+		t.Fatal(err)
 	}
 }

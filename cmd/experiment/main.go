@@ -21,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"github.com/srl-nuces/ctxdna/internal/compress"
 	"github.com/srl-nuces/ctxdna/internal/core"
 	"github.com/srl-nuces/ctxdna/internal/experiment"
+	"github.com/srl-nuces/ctxdna/internal/obs"
 	"github.com/srl-nuces/ctxdna/internal/synth"
 
 	_ "github.com/srl-nuces/ctxdna/internal/compress/ctw"
@@ -47,6 +49,10 @@ type runConfig struct {
 	partial      bool
 	faultRate    float64
 	retries      int
+	metricsOut   string
+	traceOut     string
+	pprofAddr    string
+	progress     bool
 }
 
 func main() {
@@ -60,6 +66,10 @@ func main() {
 	flag.BoolVar(&cfg.partial, "partial", false, "tolerate failed (file, codec) runs: report them and keep the surviving grid")
 	flag.Float64Var(&cfg.faultRate, "fault-rate", 0, "transient-fault probability per storage op in the post-grid chaos exchange pass (0 disables the pass)")
 	flag.IntVar(&cfg.retries, "retries", cloud.DefaultRetryPolicy().MaxRetries, "retry budget per storage op during the chaos exchange pass")
+	flag.StringVar(&cfg.metricsOut, "metrics", "", "write a Prometheus text metrics snapshot to this file after the run (- for stdout)")
+	flag.StringVar(&cfg.traceOut, "trace", "", "write the span trace as JSON to this file after the run")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run (e.g. localhost:6060)")
+	flag.BoolVar(&cfg.progress, "progress", false, "render a live done/total + ETA progress line on stderr during the grid build")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "experiment:", err)
@@ -68,18 +78,47 @@ func main() {
 }
 
 func run(cfg runConfig) error {
+	// Dedicated registry per run: metric values reflect this invocation
+	// alone, and the deterministic grid bytes are untouched either way.
+	reg := obs.NewRegistry()
+	ctx := obs.WithMetrics(context.Background(), reg)
+	var tracer *obs.Tracer
+	if cfg.traceOut != "" {
+		tracer = obs.NewTracer(obs.System())
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	if cfg.pprofAddr != "" {
+		fmt.Fprintf(os.Stderr, "experiment: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", cfg.pprofAddr)
+		go func() {
+			if err := obs.ServeDebug(cfg.pprofAddr, reg); err != nil {
+				fmt.Fprintln(os.Stderr, "experiment: debug server:", err)
+			}
+		}()
+	}
+
 	spec := synth.CorpusSpec{NumFiles: cfg.nFiles, MinSize: cfg.minKB << 10, MaxSize: cfg.maxKB << 10, Seed: cfg.seed}
 	fmt.Fprintf(os.Stderr, "experiment: generating %d files (%d KB .. %d KB, seed %d)\n", cfg.nFiles, cfg.minKB, cfg.maxKB, cfg.seed)
+	_, corpusSpan := obs.Start(ctx, "experiment.corpus")
 	files := synth.ExperimentCorpus(spec)
+	corpusSpan.SetAttr("files", len(files))
+	corpusSpan.End()
 
 	codecs := []string{"ctw", "dnax", "gencompress", "gzip"}
-	cache := compress.NewCache()
+	cache := compress.NewCacheObserved(reg)
+	runCfg := experiment.RunConfig{Jobs: cfg.jobs, Cache: cache, Partial: cfg.partial, Metrics: reg}
+	if cfg.progress {
+		runCfg.Progress = experiment.ProgressReporter(os.Stderr, obs.System(), 500*time.Millisecond)
+	}
 	start := time.Now()
-	g, failed, err := experiment.RunGrid(context.Background(), files, cloud.Grid(), codecs, experiment.DefaultNoise(),
-		experiment.RunConfig{Jobs: cfg.jobs, Cache: cache, Partial: cfg.partial})
+	gridCtx, gridSpan := obs.Start(ctx, "experiment.grid")
+	g, failed, err := experiment.RunGrid(gridCtx, files, cloud.Grid(), codecs, experiment.DefaultNoise(), runCfg)
 	if err != nil {
+		gridSpan.End()
 		return err
 	}
+	gridSpan.SetAttr("rows", len(g.Rows))
+	gridSpan.SetAttr("failed_runs", len(failed))
+	gridSpan.End()
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "experiment: degraded grid: %d failed runs dropped:\n", len(failed))
 		for _, re := range failed {
@@ -98,7 +137,10 @@ func run(cfg runConfig) error {
 	fmt.Fprintln(os.Stderr)
 
 	if cfg.faultRate > 0 {
-		if err := chaosExchange(g, files, cfg); err != nil {
+		chaosCtx, chaosSpan := obs.Start(ctx, "experiment.chaos")
+		err := chaosExchange(chaosCtx, g, files, cfg)
+		chaosSpan.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -112,14 +154,52 @@ func run(cfg runConfig) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "experiment: wrote %s\n", cfg.out)
+
+	if cfg.metricsOut != "" {
+		if err := writeMetrics(cfg.metricsOut, reg); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	if tracer != nil {
+		if err := writeTrace(cfg.traceOut, tracer); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeMetrics dumps the registry as Prometheus text to path ("-" means
+// stdout).
+func writeMetrics(path string, reg *obs.Registry) error {
+	if path == "-" {
+		return reg.WritePrometheus(os.Stdout)
+	}
+	return writeFileWith(path, reg.WritePrometheus)
+}
+
+// writeTrace dumps the tracer's finished spans as JSON to path.
+func writeTrace(path string, tracer *obs.Tracer) error {
+	return writeFileWith(path, tracer.WriteJSON)
+}
+
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // chaosExchange round-trips every surviving file through a fault-injected
 // BLOB store using its time-only winner codec at the grid's first context.
 // Exchange verifies each round trip byte for byte; any failure under the
-// retry budget is fatal.
-func chaosExchange(g *experiment.Grid, files []synth.File, cfg runConfig) error {
+// retry budget is fatal. ctx carries the run's metrics registry (and
+// tracer, when -trace is set) into every Exchange call.
+func chaosExchange(ctx context.Context, g *experiment.Grid, files []synth.File, cfg runConfig) error {
 	data := make(map[string][]byte, len(files))
 	for _, f := range files {
 		data[f.Name] = f.Data
@@ -134,7 +214,7 @@ func chaosExchange(g *experiment.Grid, files []synth.File, cfg runConfig) error 
 	attempts, retryWait := 0, 0.0
 	for fi, fr := range g.Files {
 		codec := labels[fi*len(g.Contexts)] // row of (file, first context)
-		rep, err := cloud.Exchange(context.Background(), client, store, codec, data[fr.Name], cloud.ExchangeOptions{
+		rep, err := cloud.Exchange(ctx, client, store, codec, data[fr.Name], cloud.ExchangeOptions{
 			Blob:    fr.Name,
 			Retry:   policy,
 			Cleanup: true,

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/srl-nuces/ctxdna/internal/experiment"
+	"github.com/srl-nuces/ctxdna/internal/obs"
 )
 
 func TestRunWritesReadableGrid(t *testing.T) {
@@ -60,6 +63,74 @@ func TestRunJobsDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(a, b) {
 		t.Fatalf("jobs=1 and jobs=4 CSVs differ (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestRunObservabilityExports: -metrics and -trace write well-formed
+// snapshots covering codec, cache and grid series — and attaching them
+// leaves the grid CSV byte-identical (the acceptance regression at the CLI
+// level).
+func TestRunObservabilityExports(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.csv")
+	observed := filepath.Join(dir, "observed.csv")
+	metrics := filepath.Join(dir, "metrics.prom")
+	trace := filepath.Join(dir, "trace.json")
+
+	if err := run(runConfig{nFiles: 4, minKB: 2, maxKB: 8, seed: 9, out: plain, jobs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(runConfig{
+		nFiles: 4, minKB: 2, maxKB: 8, seed: 9, out: observed, jobs: 2,
+		faultRate: 0.3, retries: 8,
+		metricsOut: metrics, traceOut: trace,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := os.ReadFile(plain)
+	b, _ := os.ReadFile(observed)
+	if !bytes.Equal(a, b) {
+		t.Fatal("grid CSV changed with -metrics/-trace enabled")
+	}
+
+	prom, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(prom)
+	for _, want := range []string{
+		"# TYPE dna_codec_calls_total counter",
+		`dna_codec_calls_total{codec="dnax",op="compress"}`,
+		"dna_cache_misses_total",
+		"dna_grid_tasks_done_total",
+		"dna_grid_workers",
+		"dna_exchange_total",
+		"dna_exchange_attempts_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
+	}
+
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Spans []obs.SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := make(map[string]int)
+	for _, s := range doc.Spans {
+		names[s.Name]++
+	}
+	for _, want := range []string{"experiment.corpus", "experiment.grid", "experiment.chaos", "cloud.exchange", "exchange.put", "exchange.get"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing span %q (got %v)", want, names)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/obs"
 )
 
 // RetryPolicy is the exchange client's capped-exponential-backoff schedule.
@@ -125,8 +126,14 @@ func (r ExchangeReport) AttemptCount() int {
 // failures and ctx cancellation abort immediately; a corrupted download
 // surfaces as compress.ErrCorrupt. On failure the returned report still
 // carries the traces collected so far.
-func Exchange(ctx context.Context, client VM, store Store, codecName string, src []byte, opts ExchangeOptions) (ExchangeReport, error) {
-	rep := ExchangeReport{Codec: codecName, OriginalBases: len(src)}
+//
+// Observability rides the context: metrics land in obs.Metrics(ctx), a
+// "cloud.exchange" span (with per-op child spans inside retryOp) is opened
+// when obs.WithTracer installed a tracer, and retries log through
+// obs.Log(ctx). All recorded figures are modeled or byte counts, so
+// instrumentation never perturbs the deterministic report.
+func Exchange(ctx context.Context, client VM, store Store, codecName string, src []byte, opts ExchangeOptions) (rep ExchangeReport, err error) {
+	rep = ExchangeReport{Codec: codecName, OriginalBases: len(src)}
 	if store == nil {
 		return rep, fmt.Errorf("cloud: nil store")
 	}
@@ -143,6 +150,31 @@ func Exchange(ctx context.Context, client VM, store Store, codecName string, src
 	if err := ctx.Err(); err != nil {
 		return rep, err
 	}
+
+	reg := obs.Metrics(ctx)
+	codec = compress.Instrument(reg, codec)
+	var span *obs.Span
+	ctx, span = obs.Start(ctx, "cloud.exchange")
+	span.SetAttr("codec", codecName)
+	defer func() {
+		span.SetAttr("frame_bytes", rep.FrameBytes)
+		span.SetAttr("retry_wait_ms", rep.RetryWaitMS)
+		span.SetAttr("attempts", rep.AttemptCount())
+		outcome := "ok"
+		switch {
+		case err == nil:
+		case errors.Is(err, compress.ErrCorrupt):
+			outcome = "corrupt"
+			reg.Counter("dna_exchange_corrupt_total", "Exchanges that delivered a corrupt frame.").Inc()
+		default:
+			outcome = "error"
+		}
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		reg.Counter("dna_exchange_total", "Exchange pipelines run.", "outcome", outcome).Inc()
+		span.End()
+	}()
 
 	data, cst, err := codec.Compress(src)
 	if err != nil {
@@ -167,6 +199,7 @@ func Exchange(ctx context.Context, client VM, store Store, codecName string, src
 	if err != nil {
 		return rep, fmt.Errorf("cloud: upload: %w", err)
 	}
+	reg.Counter("dna_exchange_up_bytes_total", "Frame bytes uploaded (successful PUTs).").Add(uint64(len(frame)))
 
 	var fetched []byte
 	get, err := retryOp(ctx, opts, "get", func() error {
@@ -180,11 +213,13 @@ func Exchange(ctx context.Context, client VM, store Store, codecName string, src
 	if err != nil {
 		return rep, fmt.Errorf("cloud: download: %w", err)
 	}
+	reg.Counter("dna_exchange_down_bytes_total", "Frame bytes downloaded (successful GETs).").Add(uint64(len(fetched)))
 
 	// The receiving VM restores and verifies from the frame alone: header
 	// and payload checksums, contained codec execution, and the restored
 	// output's length and checksum. No source bytes are consulted.
-	_, dst, err := compress.SafeDecompress(codecName, fetched, opts.Limits)
+	restored, dst, err := compress.SafeDecompress(codecName, fetched, opts.Limits)
+	compress.ObserveDecompress(reg, codecName, len(fetched), len(restored), dst, err)
 	if err != nil {
 		return rep, fmt.Errorf("cloud: decompress: %w", err)
 	}
@@ -216,8 +251,34 @@ func sumBackoff(traces []OpTrace) float64 {
 // retryOp drives one store op through the retry schedule: transient
 // failures and per-op timeouts are retried up to opts.Retry.MaxRetries
 // times; permanent failures and external cancellation end the op at once.
-func retryOp(ctx context.Context, opts ExchangeOptions, op string, f func() error) (OpTrace, error) {
-	tr := OpTrace{Op: op}
+// Each op gets its own child span plus attempt/outcome/backoff metrics,
+// and every retry is logged at debug level through the context logger.
+func retryOp(ctx context.Context, opts ExchangeOptions, op string, f func() error) (tr OpTrace, err error) {
+	tr = OpTrace{Op: op}
+	reg := obs.Metrics(ctx)
+	_, span := obs.Start(ctx, "exchange."+op)
+	defer func() {
+		span.SetAttr("attempts", tr.Attempts)
+		span.SetAttr("retry_wait_ms", sumBackoff([]OpTrace{tr}))
+		outcome := "ok"
+		switch {
+		case err == nil:
+		case ctx.Err() != nil:
+			outcome = "canceled"
+		case IsTransient(err) || errors.Is(err, context.DeadlineExceeded):
+			// Includes retry exhaustion: the gave-up error wraps the last
+			// transient failure.
+			outcome = "transient"
+		default:
+			outcome = "permanent"
+		}
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		reg.Counter("dna_exchange_ops_total", "Store operations by final outcome.", "op", op, "outcome", outcome).Inc()
+		reg.Counter("dna_exchange_attempts_total", "Store operation attempts, retries included.", "op", op).Add(uint64(tr.Attempts))
+		span.End()
+	}()
 	for retry := 0; ; retry++ {
 		if err := ctx.Err(); err != nil {
 			return tr, err
@@ -237,7 +298,12 @@ func retryOp(ctx context.Context, opts ExchangeOptions, op string, f func() erro
 		if retry >= opts.Retry.MaxRetries {
 			return tr, fmt.Errorf("cloud: %s gave up after %d attempts: %w", op, tr.Attempts, err)
 		}
-		tr.BackoffMS = append(tr.BackoffMS, opts.Retry.BackoffMS(op, retry))
+		wait := opts.Retry.BackoffMS(op, retry)
+		tr.BackoffMS = append(tr.BackoffMS, wait)
+		reg.Counter("dna_exchange_retries_total", "Transient-failure retries scheduled.", "op", op).Inc()
+		reg.Histogram("dna_exchange_backoff_ms", "Modeled backoff waits between attempts.", obs.DefMSBuckets(), "op", op).Observe(wait)
+		obs.Log(ctx).Debug("cloud: transient failure, retrying",
+			"op", op, "retry", retry, "backoff_ms", wait, "err", err)
 	}
 }
 

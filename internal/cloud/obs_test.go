@@ -1,0 +1,150 @@
+package cloud
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"testing"
+	"time"
+
+	"github.com/srl-nuces/ctxdna/internal/obs"
+)
+
+// obsCtx builds a context carrying a fresh registry, a fake-clock tracer
+// and a debug logger, returning all three observers.
+func obsCtx() (context.Context, *obs.Registry, *obs.Tracer, *bytes.Buffer) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(obs.NewFake(time.Unix(1700000000, 0).UTC()))
+	var logBuf bytes.Buffer
+	ctx := obs.WithMetrics(context.Background(), reg)
+	ctx = obs.WithTracer(ctx, tr)
+	ctx = obs.WithLogger(ctx, obs.NewLogger(&logBuf, slog.LevelDebug))
+	return ctx, reg, tr, &logBuf
+}
+
+func counter(reg *obs.Registry, name string, labels ...string) uint64 {
+	return reg.Counter(name, "", labels...).Value()
+}
+
+// TestExchangeObservability: a clean exchange emits a deterministic span
+// tree and books codec, byte-volume and per-op outcome metrics.
+func TestExchangeObservability(t *testing.T) {
+	ctx, reg, tr, _ := obsCtx()
+	store := NewBlobStore()
+	src := symbols(4096, 11)
+	rep, err := Exchange(ctx, chaosClient, store, "dnax", src, ExchangeOptions{
+		Retry: DefaultRetryPolicy(), Cleanup: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recs := tr.Records()
+	wantNames := []string{"exchange.put", "exchange.get", "exchange.delete", "cloud.exchange"}
+	if len(recs) != len(wantNames) {
+		t.Fatalf("%d spans, want %d: %+v", len(recs), len(wantNames), recs)
+	}
+	root := recs[len(recs)-1]
+	for i, rec := range recs {
+		if rec.Name != wantNames[i] {
+			t.Errorf("span %d = %q, want %q", i, rec.Name, wantNames[i])
+		}
+		if rec.Name != "cloud.exchange" && rec.Parent != root.ID {
+			t.Errorf("span %q parent = %d, want root %d", rec.Name, rec.Parent, root.ID)
+		}
+		// Fake clock never advanced: durations are exactly zero.
+		if rec.DurationNS != 0 {
+			t.Errorf("span %q duration = %d on a frozen clock", rec.Name, rec.DurationNS)
+		}
+	}
+
+	if got := counter(reg, "dna_exchange_total", "outcome", "ok"); got != 1 {
+		t.Errorf("exchange ok = %d, want 1", got)
+	}
+	for _, op := range []string{"put", "get", "delete"} {
+		if got := counter(reg, "dna_exchange_ops_total", "op", op, "outcome", "ok"); got != 1 {
+			t.Errorf("op %s ok = %d, want 1", op, got)
+		}
+		if got := counter(reg, "dna_exchange_attempts_total", "op", op); got != 1 {
+			t.Errorf("op %s attempts = %d, want 1", op, got)
+		}
+	}
+	if got := counter(reg, "dna_exchange_up_bytes_total"); got != uint64(rep.FrameBytes) {
+		t.Errorf("up bytes = %d, want %d", got, rep.FrameBytes)
+	}
+	if got := counter(reg, "dna_exchange_down_bytes_total"); got != uint64(rep.FrameBytes) {
+		t.Errorf("down bytes = %d, want %d", got, rep.FrameBytes)
+	}
+	// The codec ran instrumented: one compress through the wrapper, one
+	// decompress booked by the hardened receive path.
+	if got := counter(reg, "dna_codec_calls_total", "codec", "dnax", "op", "compress"); got != 1 {
+		t.Errorf("codec compress calls = %d, want 1", got)
+	}
+	if got := counter(reg, "dna_codec_calls_total", "codec", "dnax", "op", "decompress"); got != 1 {
+		t.Errorf("codec decompress calls = %d, want 1", got)
+	}
+}
+
+// TestExchangeObservabilityRetries: injected transient faults surface as
+// retry counters, backoff observations, span attributes and debug logs.
+func TestExchangeObservabilityRetries(t *testing.T) {
+	ctx, reg, tr, logBuf := obsCtx()
+	store := NewFaultyStore(NewBlobStore(), FaultConfig{Rate: 0.3, Seed: 42})
+	src := symbols(4096, 12)
+	rep, err := Exchange(ctx, chaosClient, store, "dnax", src, ExchangeOptions{Retry: DefaultRetryPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AttemptCount() <= 2 {
+		t.Skipf("seed produced no retries (attempts=%d); pick another seed", rep.AttemptCount())
+	}
+
+	wantRetries := uint64(rep.AttemptCount() - 2) // 2 ops, first attempt each is free
+	gotRetries := counter(reg, "dna_exchange_retries_total", "op", "put") +
+		counter(reg, "dna_exchange_retries_total", "op", "get")
+	if gotRetries != wantRetries {
+		t.Errorf("retries = %d, want %d", gotRetries, wantRetries)
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte("transient failure")) {
+		t.Errorf("no retry debug log emitted:\n%s", logBuf.String())
+	}
+	// Span attempt attributes must agree with the report's traces.
+	for _, rec := range tr.Records() {
+		if rec.Name != "exchange.put" && rec.Name != "exchange.get" {
+			continue
+		}
+		var attempts int
+		for _, a := range rec.Attrs {
+			if a.Key == "attempts" {
+				attempts, _ = a.Value.(int)
+			}
+		}
+		for _, opTr := range rep.Traces {
+			if "exchange."+opTr.Op == rec.Name && attempts != opTr.Attempts {
+				t.Errorf("%s span attempts = %d, trace says %d", rec.Name, attempts, opTr.Attempts)
+			}
+		}
+	}
+}
+
+// TestExchangeObservabilityExhaustion: a store that always fails books a
+// transient op outcome and an error exchange outcome.
+func TestExchangeObservabilityExhaustion(t *testing.T) {
+	ctx, reg, _, _ := obsCtx()
+	store := NewFaultyStore(NewBlobStore(), FaultConfig{Rate: 1, Seed: 3})
+	_, err := Exchange(ctx, chaosClient, store, "dnax", symbols(512, 13), ExchangeOptions{
+		Retry: RetryPolicy{MaxRetries: 2, BaseMS: 10, Seed: 1},
+	})
+	if err == nil {
+		t.Fatal("want exhaustion error")
+	}
+	if got := counter(reg, "dna_exchange_ops_total", "op", "put", "outcome", "transient"); got != 1 {
+		t.Errorf("put transient = %d, want 1", got)
+	}
+	if got := counter(reg, "dna_exchange_total", "outcome", "error"); got != 1 {
+		t.Errorf("exchange error = %d, want 1", got)
+	}
+	if got := counter(reg, "dna_exchange_attempts_total", "op", "put"); got != 3 {
+		t.Errorf("put attempts = %d, want 3", got)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sync"
+
+	"github.com/srl-nuces/ctxdna/internal/obs"
 )
 
 // Result is one cached compression outcome: the sealed armored frame plus
@@ -48,11 +50,38 @@ type Cache struct {
 	m      map[Key]Result
 	hits   uint64
 	misses uint64
+	met    cacheMetrics
 }
 
-// NewCache returns an empty cache.
+// cacheMetrics mirrors the cache's lifetime counters into a metrics
+// registry so sweeps expose hit rates next to codec and grid figures.
+type cacheMetrics struct {
+	hits           *obs.Counter
+	misses         *obs.Counter
+	stores         *obs.Counter
+	verifyFailures *obs.Counter
+}
+
+func newCacheMetrics(reg *obs.Registry) cacheMetrics {
+	reg = obs.OrDefault(reg)
+	return cacheMetrics{
+		hits:           reg.Counter("dna_cache_hits_total", "Compression cache hits."),
+		misses:         reg.Counter("dna_cache_misses_total", "Compression cache misses."),
+		stores:         reg.Counter("dna_cache_stores_total", "Entries stored in the compression cache."),
+		verifyFailures: reg.Counter("dna_cache_verify_failures_total", "Round-trip verifications that failed before caching."),
+	}
+}
+
+// NewCache returns an empty cache reporting into the default metrics
+// registry.
 func NewCache() *Cache {
-	return &Cache{m: make(map[Key]Result)}
+	return NewCacheObserved(nil)
+}
+
+// NewCacheObserved returns an empty cache reporting its hit/miss/store and
+// verify-failure counters into reg (nil means the default registry).
+func NewCacheObserved(reg *obs.Registry) *Cache {
+	return &Cache{m: make(map[Key]Result), met: newCacheMetrics(reg)}
 }
 
 // Get returns the entry for k, counting a hit or miss. Nil caches always
@@ -66,12 +95,14 @@ func (c *Cache) Get(k Key) (Result, bool) {
 	r, ok := c.m[k]
 	if ok {
 		c.hits++
+		c.met.hits.Inc()
 		// Hand out a private copy: the stored entry outlives any single
 		// caller, and a shared slice would let one caller's mutation corrupt
 		// every later hit.
 		r.Data = append([]byte(nil), r.Data...)
 	} else {
 		c.misses++
+		c.met.misses.Inc()
 	}
 	return r, ok
 }
@@ -86,6 +117,16 @@ func (c *Cache) Put(k Key, r Result) {
 	c.mu.Lock()
 	c.m[k] = r
 	c.mu.Unlock()
+	c.met.stores.Inc()
+}
+
+// noteVerifyFailure counts a pre-cache round-trip verification failure.
+// Nil caches drop the count along with the entry they would have stored.
+func (c *Cache) noteVerifyFailure() {
+	if c == nil {
+		return
+	}
+	c.met.verifyFailures.Inc()
 }
 
 // Len reports the number of stored entries.
@@ -112,7 +153,17 @@ func (c *Cache) Counters() (hits, misses uint64) {
 // src with a fresh codec instance, seals the stream into an armored frame,
 // verifies the round-trip byte-for-byte through the hardened decode path,
 // stores the outcome, and returns it. cache may be nil (always compresses).
+// Codec metrics land in the default registry; use CompressObserved to aim
+// them at a specific one.
 func CompressCached(cache *Cache, codecName string, src []byte) (Result, error) {
+	return CompressObserved(nil, cache, codecName, src)
+}
+
+// CompressObserved is CompressCached recording per-codec operation metrics
+// into reg (nil means the default registry). Codec op metrics are recorded
+// only on cache misses — the only time the codec actually runs — while the
+// cache's own counters track the hit/miss split.
+func CompressObserved(reg *obs.Registry, cache *Cache, codecName string, src []byte) (Result, error) {
 	key := ContentKey(codecName, src)
 	if r, ok := cache.Get(key); ok && r.Bases == len(src) {
 		return r, nil
@@ -122,6 +173,7 @@ func CompressCached(cache *Cache, codecName string, src []byte) (Result, error) 
 		return Result{}, err
 	}
 	data, cst, err := c.Compress(src)
+	ObserveCompress(reg, codecName, len(src), len(data), cst, err)
 	if err != nil {
 		return Result{}, err
 	}
@@ -129,10 +181,13 @@ func CompressCached(cache *Cache, codecName string, src []byte) (Result, error) 
 	// Verifying through SafeDecompress exercises the exact path a receiver
 	// runs, so a cached frame is known to open, decode and checksum clean.
 	restored, dst, err := SafeDecompress(codecName, frame, Limits{MaxCompressed: -1, MaxOutput: -1})
+	ObserveDecompress(reg, codecName, len(frame), len(restored), dst, err)
 	if err != nil {
+		cache.noteVerifyFailure()
 		return Result{}, fmt.Errorf("decompress: %w", err)
 	}
 	if !bytes.Equal(restored, src) {
+		cache.noteVerifyFailure()
 		return Result{}, fmt.Errorf("round-trip mismatch: %d bases in, %d out", len(src), len(restored))
 	}
 	r := Result{Data: frame, PayloadBytes: len(data), Bases: len(src), CompressStats: cst, DecompStats: dst}

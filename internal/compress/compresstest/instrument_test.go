@@ -1,0 +1,42 @@
+package compresstest_test
+
+import (
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/compress/compresstest"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+// TestInstrumentedRoundTripAllCodecs proves the observability wrapper is
+// behavior-preserving for every registered codec: identical round-trips,
+// one booked call per direction, byte volumes matching reality.
+func TestInstrumentedRoundTripAllCodecs(t *testing.T) {
+	names := compress.Names()
+	if len(names) < 9 {
+		t.Fatalf("only %d codecs registered: %v", len(names), names)
+	}
+	p := synth.Profile{Length: 12000, GC: 0.45, RepeatProb: 0.02, RepeatMin: 20, RepeatMax: 300, RCFraction: 0.3, MutationRate: 0.01}
+	src := p.Generate(71)
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, err := compress.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Instrumented and raw codecs must produce identical bytes.
+			raw, err2 := compress.New(name)
+			if err2 != nil {
+				t.Fatal(err2)
+			}
+			want, _, err := raw.Compress(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := compresstest.InstrumentedRoundTrip(t, c, src); got != len(want) {
+				t.Fatalf("instrumented compressed size %d, raw %d", got, len(want))
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/srl-nuces/ctxdna/internal/cloud"
+	"github.com/srl-nuces/ctxdna/internal/core"
+	"github.com/srl-nuces/ctxdna/internal/obs"
+)
+
+// TestGridBytesIdenticalWithObservability is the acceptance regression:
+// attaching a metrics registry and a progress reporter must not change a
+// single byte of the grid's CSV export or its labels.
+func TestGridBytesIdenticalWithObservability(t *testing.T) {
+	files := equivCorpus()
+	ctxs := cloud.Grid()[:6]
+
+	plain, _, err := RunGrid(context.Background(), files, ctxs, paperCodecs, DefaultNoise(), RunConfig{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plainCSV bytes.Buffer
+	if err := plain.WriteCSV(&plainCSV); err != nil {
+		t.Fatal(err)
+	}
+	plainLabels := plain.Labels(core.TimeOnlyWeights())
+
+	reg := obs.NewRegistry()
+	var progress bytes.Buffer
+	observed, _, err := RunGrid(context.Background(), files, ctxs, paperCodecs, DefaultNoise(), RunConfig{
+		Jobs:     4,
+		Metrics:  reg,
+		Progress: ProgressReporter(&progress, obs.NewFake(time.Unix(0, 0)), 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(observed, plain) {
+		t.Error("grid differs with observability attached")
+	}
+	var obsCSV bytes.Buffer
+	if err := observed.WriteCSV(&obsCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(obsCSV.Bytes(), plainCSV.Bytes()) {
+		t.Errorf("CSV not byte-identical with observability: %d vs %d bytes", obsCSV.Len(), plainCSV.Len())
+	}
+	if labels := observed.Labels(core.TimeOnlyWeights()); !reflect.DeepEqual(labels, plainLabels) {
+		t.Error("labels differ with observability attached")
+	}
+	if progress.Len() == 0 {
+		t.Error("progress reporter wrote nothing")
+	}
+
+	nTasks := len(files) * len(paperCodecs)
+	if got := reg.Counter("dna_grid_tasks_done_total", "").Value(); got != uint64(nTasks) {
+		t.Errorf("tasks done = %d, want %d", got, nTasks)
+	}
+	if got := reg.Gauge("dna_grid_tasks_total", "").Value(); got != float64(nTasks) {
+		t.Errorf("tasks total gauge = %v, want %d", got, nTasks)
+	}
+	if got := reg.Gauge("dna_grid_workers", "").Value(); got != 4 {
+		t.Errorf("workers gauge = %v, want 4", got)
+	}
+	if got := reg.Gauge("dna_grid_workers_busy", "").Value(); got != 0 {
+		t.Errorf("busy gauge = %v after completion, want 0", got)
+	}
+	if got := reg.Counter("dna_grid_runs_failed_total", "").Value(); got != 0 {
+		t.Errorf("failed runs = %d, want 0", got)
+	}
+	// Per-codec metrics flowed through the same registry.
+	for _, name := range paperCodecs {
+		if got := reg.Counter("dna_codec_calls_total", "", "codec", name, "op", "compress").Value(); got != uint64(len(files)) {
+			t.Errorf("codec %s compress calls = %d, want %d", name, got, len(files))
+		}
+	}
+}
+
+// TestGridMetricsCountFailures: failed slots surface in the failure counter
+// and still tick the done counter.
+func TestGridMetricsCountFailures(t *testing.T) {
+	files := equivCorpus()[:2]
+	ctxs := cloud.Grid()[:2]
+	reg := obs.NewRegistry()
+	_, failed, err := RunGrid(context.Background(), files, ctxs, []string{"teststub", "testfail"}, DefaultNoise(), RunConfig{
+		Jobs: 2, Partial: true, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != len(files) {
+		t.Fatalf("%d failed slots, want %d", len(failed), len(files))
+	}
+	if got := reg.Counter("dna_grid_runs_failed_total", "").Value(); got != uint64(len(files)) {
+		t.Errorf("failed counter = %d, want %d", got, len(files))
+	}
+	if got := reg.Counter("dna_grid_tasks_done_total", "").Value(); got != uint64(2*len(files)) {
+		t.Errorf("done counter = %d, want %d", got, 2*len(files))
+	}
+}
+
+// TestProgressCallbackMonotone: under a parallel pool the serialized
+// callback sees strictly increasing done counts ending at total.
+func TestProgressCallbackMonotone(t *testing.T) {
+	files := equivCorpus()
+	ctxs := cloud.Grid()[:6]
+	var calls []int
+	_, _, err := RunGrid(context.Background(), files, ctxs, []string{"teststub", "testslow"}, DefaultNoise(), RunConfig{
+		Jobs:    8,
+		Metrics: obs.NewRegistry(),
+		Progress: func(done, total int) {
+			if total != 2*len(files) {
+				t.Errorf("total = %d, want %d", total, 2*len(files))
+			}
+			calls = append(calls, done) // serialized by RunGrid: no lock needed
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2*len(files) {
+		t.Fatalf("%d progress calls, want %d", len(calls), 2*len(files))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("call %d reported done=%d, want %d", i, d, i+1)
+		}
+	}
+}
+
+// TestProgressReporterFakeClock pins the reporter's exact output under a
+// manually-advanced clock: rate limiting, ETA arithmetic, final newline.
+func TestProgressReporterFakeClock(t *testing.T) {
+	clk := obs.NewFake(time.Unix(0, 0))
+	var buf bytes.Buffer
+	report := ProgressReporter(&buf, clk, 5*time.Second)
+
+	report(1, 4) // first render, elapsed 0, eta 0s
+	clk.Advance(2 * time.Second)
+	report(2, 4) // suppressed: under the 5s interval
+	clk.Advance(4 * time.Second)
+	report(3, 4) // renders: elapsed 6s, one task left, eta 2s
+	clk.Advance(2 * time.Second)
+	report(4, 4) // final: always renders, newline
+
+	want := "\rgrid: 1/4 (25%) eta 0s" +
+		"\rgrid: 3/4 (75%) eta 2s" +
+		"\rgrid: 4/4 (100%) done in 8s\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("reporter output:\n got %q\nwant %q", got, want)
+	}
+	if strings.Count(buf.String(), "2/4") != 0 {
+		t.Fatal("rate limiter leaked the suppressed render")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/srl-nuces/ctxdna/internal/cloud"
 	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/obs"
 	"github.com/srl-nuces/ctxdna/internal/synth"
 )
 
@@ -71,6 +72,36 @@ type RunConfig struct {
 	// returned RunErrors and the grid is assembled from the slots that
 	// succeeded. Files with no surviving codec are dropped entirely.
 	Partial bool
+	// Metrics receives pool-utilization gauges, task/failure counters and
+	// the per-codec operation metrics of every run; nil means the default
+	// registry. Recording never influences the grid: the produced rows,
+	// measurements and CSV bytes are identical with or without a registry.
+	Metrics *obs.Registry
+	// Progress, when non-nil, is called after every finished task with
+	// monotonically increasing done counts (serialized under a mutex, so
+	// the callback needs no locking of its own). See ProgressReporter for a
+	// ready-made stderr renderer.
+	Progress func(done, total int)
+}
+
+// gridMetrics is the worker-pool series set of one grid build.
+type gridMetrics struct {
+	workers    *obs.Gauge
+	tasksTotal *obs.Gauge
+	busy       *obs.Gauge
+	tasksDone  *obs.Counter
+	runsFailed *obs.Counter
+}
+
+func newGridMetrics(reg *obs.Registry) gridMetrics {
+	reg = obs.OrDefault(reg)
+	return gridMetrics{
+		workers:    reg.Gauge("dna_grid_workers", "Worker-pool size of the current grid build."),
+		tasksTotal: reg.Gauge("dna_grid_tasks_total", "Tasks (file × codec) in the current grid build."),
+		busy:       reg.Gauge("dna_grid_workers_busy", "Workers currently executing a run."),
+		tasksDone:  reg.Counter("dna_grid_tasks_done_total", "Grid tasks completed, failures included."),
+		runsFailed: reg.Counter("dna_grid_runs_failed_total", "Grid runs that failed."),
+	}
 }
 
 // RunParallel builds the experiment grid with a bounded worker pool fanning
@@ -128,6 +159,29 @@ func RunGrid(ctx context.Context, files []synth.File, contexts []cloud.VM, codec
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	met := newGridMetrics(cfg.Metrics)
+	met.workers.Set(float64(jobs))
+	met.tasksTotal.Set(float64(nTasks))
+
+	// Progress calls are serialized under a mutex and carry a monotone done
+	// count, so a renderer can write terminal lines without its own locking
+	// and never sees counts run backwards.
+	var progressMu sync.Mutex
+	progressDone := 0
+	noteDone := func(failed bool) {
+		met.tasksDone.Inc()
+		if failed {
+			met.runsFailed.Inc()
+		}
+		if cfg.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		progressDone++
+		cfg.Progress(progressDone, nTasks)
+		progressMu.Unlock()
+	}
+
 	// One slot per (file, codec): workers write disjoint indices, so the
 	// assembly below needs no ordering information from the scheduler.
 	type task struct{ fi, ci int }
@@ -144,9 +198,12 @@ func RunGrid(ctx context.Context, files []synth.File, contexts []cloud.VM, codec
 				f := files[tk.fi]
 				name := codecs[tk.ci]
 				slot := tk.fi*len(codecs) + tk.ci
-				r, err := compress.CompressCached(cfg.Cache, name, f.Data)
+				met.busy.Add(1)
+				r, err := compress.CompressObserved(cfg.Metrics, cfg.Cache, name, f.Data)
+				met.busy.Add(-1)
 				if err != nil {
 					errs[slot] = &RunError{File: f.Name, Codec: name, Err: err}
+					noteDone(true)
 					if !cfg.Partial {
 						cancel() // abort the rest of the grid promptly
 					}
@@ -160,6 +217,7 @@ func RunGrid(ctx context.Context, files []synth.File, contexts []cloud.VM, codec
 					CompressStats:  r.CompressStats,
 					DecompStats:    r.DecompStats,
 				}
+				noteDone(false)
 			}
 		}()
 	}

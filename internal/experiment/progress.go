@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/srl-nuces/ctxdna/internal/obs"
+)
+
+// ProgressReporter returns a RunConfig.Progress callback rendering a live
+// single-line status to w (typically stderr):
+//
+//	grid: 12/27 (44%) eta 3s
+//
+// Lines are carriage-return overwritten and rate-limited to one render per
+// minInterval, except the final call (done == total), which always renders
+// and terminates the line with a newline. Time comes from clock (nil means
+// the system clock), so tests drive the reporter with obs.NewFake and get
+// byte-exact output. The returned callback is safe for concurrent use, and
+// RunGrid additionally serializes its Progress calls.
+func ProgressReporter(w io.Writer, clock obs.Clock, minInterval time.Duration) func(done, total int) {
+	clock = orSystem(clock)
+	var mu sync.Mutex
+	var start, last time.Time
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := clock.Now()
+		if start.IsZero() {
+			start = now
+		}
+		final := total > 0 && done >= total
+		if !final && !last.IsZero() && now.Sub(last) < minInterval {
+			return
+		}
+		last = now
+		elapsed := now.Sub(start)
+		if final {
+			fmt.Fprintf(w, "\rgrid: %d/%d (100%%) done in %s\n", done, total, roundDur(elapsed))
+			return
+		}
+		pct := 0
+		if total > 0 {
+			pct = 100 * done / total
+		}
+		eta := "?"
+		if done > 0 {
+			remaining := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+			eta = roundDur(remaining).String()
+		}
+		fmt.Fprintf(w, "\rgrid: %d/%d (%d%%) eta %s", done, total, pct, eta)
+	}
+}
+
+func orSystem(c obs.Clock) obs.Clock {
+	if c == nil {
+		return obs.System()
+	}
+	return c
+}
+
+// roundDur trims durations to a display-friendly precision: sub-second
+// values keep milliseconds, longer ones round to tenths of a second.
+func roundDur(d time.Duration) time.Duration {
+	if d < time.Second {
+		return d.Round(time.Millisecond)
+	}
+	return d.Round(100 * time.Millisecond)
+}

@@ -3,6 +3,7 @@ package lint
 // All returns the full dnalint suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		ClockInject,
 		CtxProp,
 		Determinism,
 		ErrTaxonomy,

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClockInject enforces the observability layer's injectable-clock
+// convention: measurement-path packages never read the wall clock directly.
+// Real time enters through an obs.Clock — obs.System() wired in by the
+// CLIs, obs.NewFake driven by tests — so span durations and progress output
+// are reproducible and the deterministic grids stay modeled-time-only.
+// Determinism flags the same calls for its own reason (output
+// reproducibility); this analyzer names the sanctioned replacement.
+var ClockInject = &Analyzer{
+	Name: "clockinject",
+	Doc: `flags direct time.Now / time.Since calls in packages that must take
+their clock from obs.Clock (obs.System in CLIs, obs.NewFake in tests).
+Methods on an injected clock are the sanctioned path and stay clean.
+Scope: internal/compress/..., internal/cloud, internal/experiment
+(non-test files).`,
+	Scope: scopeUnder("internal/compress", "internal/cloud", "internal/experiment"),
+	Run:   runClockInject,
+}
+
+func runClockInject(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // t.Sub(u), d.Round(...): values, not clock reads
+			}
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				pass.Reportf(call.Pos(), "time.%s bypasses the injected clock; accept an obs.Clock (obs.System in CLIs, obs.NewFake in tests) and call its methods instead", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -105,6 +105,7 @@ func checkFixture(t *testing.T, a *Analyzer, fixturePath string) {
 	}
 }
 
+func TestClockInjectFixture(t *testing.T)  { checkFixture(t, ClockInject, "fixtures/clockinject") }
 func TestDeterminismFixture(t *testing.T)  { checkFixture(t, Determinism, "fixtures/determinism") }
 func TestErrTaxonomyFixture(t *testing.T)  { checkFixture(t, ErrTaxonomy, "fixtures/errtaxonomy") }
 func TestRegisterInitFixture(t *testing.T) { checkFixture(t, RegisterInit, "fixtures/registerinit") }
@@ -143,6 +144,13 @@ func TestScopes(t *testing.T) {
 		{ErrTaxonomy, ModulePath + "/internal/huffman", false},
 		{CtxProp, ModulePath + "/internal/experiment", true},
 		{CtxProp, ModulePath + "/internal/cloud", false},
+		{ClockInject, ModulePath + "/internal/compress", true},
+		{ClockInject, ModulePath + "/internal/compress/gsqz", true},
+		{ClockInject, ModulePath + "/internal/cloud", true},
+		{ClockInject, ModulePath + "/internal/experiment", true},
+		{ClockInject, ModulePath + "/internal/obs", false},
+		{ClockInject, ModulePath + "/internal/synth", false},
+		{ClockInject, ModulePath + "/cmd/dnacomp", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Scope(c.pkg); got != c.want {

@@ -1,0 +1,34 @@
+// Package clockinject is a dnalint fixture: direct wall-clock reads are
+// flagged; injected-clock methods and plain time-value arithmetic stay
+// clean.
+package clockinject
+
+import (
+	"time"
+
+	"github.com/srl-nuces/ctxdna/internal/obs"
+)
+
+func direct() time.Duration {
+	start := time.Now()      // want `time\.Now bypasses the injected clock`
+	return time.Since(start) // want `time\.Since bypasses the injected clock`
+}
+
+func injected(clock obs.Clock) time.Duration {
+	start := clock.Now() // ok: method on the injected clock
+	return clock.Since(start)
+}
+
+func fakeClock() time.Time {
+	f := obs.NewFake(time.Unix(0, 0))
+	f.Advance(time.Second) // ok: fake clocks are the test-injection path
+	return f.Now()
+}
+
+func timeValuesAreFine(a, b time.Time) time.Duration {
+	return b.Sub(a).Round(time.Millisecond) // ok: value methods, not clock reads
+}
+
+func deterministicConstructors() time.Time {
+	return time.Unix(2015, 0) // ok: no wall-clock dependency
+}

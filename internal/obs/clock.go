@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the time source so measurement-path packages never read
+// the wall clock directly (the dnalint clockinject analyzer enforces
+// this). CLIs inject System(); tests inject a Fake and advance it by hand;
+// the experiment grid ignores wall time entirely and runs on modeled cost
+// figures, so its outputs stay byte-deterministic either way.
+type Clock interface {
+	// Now returns the clock's current time.
+	Now() time.Time
+	// Since returns the time elapsed on this clock since t.
+	Since(t time.Time) time.Duration
+}
+
+// System returns the real wall clock.
+func System() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                  { return time.Now() }
+func (systemClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Fake is a manually-advanced Clock for tests: time moves only when
+// Advance or Set is called, so span durations and reporter output are
+// exact, reproducible values. Safe for concurrent use.
+type Fake struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFake returns a Fake frozen at start.
+func NewFake(start time.Time) *Fake { return &Fake{t: start} }
+
+// Now returns the fake's current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+// Since returns the fake-clock time elapsed since t.
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// Advance moves the fake clock forward by d.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// Set jumps the fake clock to t.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	f.t = t
+	f.mu.Unlock()
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the observability HTTP surface for reg (nil means
+// the default registry):
+//
+//	/metrics        Prometheus text exposition
+//	/debug/vars     expvar JSON (registry published as "ctxdna_metrics")
+//	/debug/pprof/*  runtime profiling (CPU, heap, goroutine, trace, ...)
+//
+// Exposed as a handler so CLIs can mount it on any listener.
+func DebugHandler(reg *Registry) http.Handler {
+	reg = OrDefault(reg)
+	reg.PublishExpvar("ctxdna_metrics")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug serves DebugHandler(reg) on addr, blocking until the listener
+// fails. Long sweeps run it in a goroutine (-pprof flag) so profiles and
+// live metrics are scrapable mid-run.
+func ServeDebug(addr string, reg *Registry) error {
+	return http.ListenAndServe(addr, DebugHandler(reg))
+}

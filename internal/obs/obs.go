@@ -1,0 +1,131 @@
+// Package obs is the repository's observability core: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket histograms with
+// Prometheus text and expvar export), span-based tracing with an injectable
+// clock, and structured logging on log/slog — all plumbed through
+// context.Context so every pipeline layer (codec, cache, cloud exchange,
+// worker pool) records into the same sinks without global wiring.
+//
+// Determinism contract: nothing in this package is allowed to leak wall
+// time into measurement results. The experiment pipeline's figures come
+// from modeled costs (compress.Stats); obs only *observes* them. Code in
+// the measurement-path packages never calls time.Now directly (enforced by
+// the dnalint clockinject analyzer) — it reads the Clock carried in the
+// context, which is the system clock in CLIs, a Fake in tests, and
+// irrelevant to grid bytes either way: with the same inputs, metric
+// counters and modeled-time histograms are byte-identical across runs and
+// -jobs values; only span wall durations vary, and those never feed a
+// grid.
+//
+// Recording is always on and costs a handful of atomic updates (see
+// BenchmarkInstrumentOverhead); "enabling observability" in the CLIs means
+// *exporting* a snapshot (-metrics, -trace, -pprof), never changing what
+// the pipeline computes.
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// ctxKey namespaces the context values this package owns.
+type ctxKey int
+
+const (
+	clockKey ctxKey = iota
+	loggerKey
+	tracerKey
+	spanKey
+	metricsKey
+)
+
+// WithClock returns a context carrying c as the ambient time source.
+func WithClock(ctx context.Context, c Clock) context.Context {
+	return context.WithValue(ctx, clockKey, c)
+}
+
+// ClockFrom returns the context's clock, or the system clock when none was
+// installed, so callers can always read time through it.
+func ClockFrom(ctx context.Context) Clock {
+	if c, ok := ctx.Value(clockKey).(Clock); ok {
+		return c
+	}
+	return System()
+}
+
+// WithLogger returns a context carrying l as the ambient structured logger.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Log returns the context's logger, or a discard logger when none was
+// installed — instrumented code logs unconditionally and stays silent by
+// default.
+func Log(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return discardLogger
+}
+
+// NewLogger builds the standard repo logger: slog text lines at the given
+// level. CLIs install it with WithLogger; tests pass a buffer.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// discardHandler drops every record. slog.DiscardHandler exists from Go
+// 1.24; this keeps the module buildable at its declared go 1.22.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+var discardLogger = slog.New(discardHandler{})
+
+// WithMetrics returns a context carrying reg as the ambient metrics
+// registry.
+func WithMetrics(ctx context.Context, reg *Registry) context.Context {
+	return context.WithValue(ctx, metricsKey, reg)
+}
+
+// Metrics returns the context's registry, or the process default when none
+// was installed.
+func Metrics(ctx context.Context) *Registry {
+	if r, ok := ctx.Value(metricsKey).(*Registry); ok && r != nil {
+		return r
+	}
+	return Default()
+}
+
+// WithTracer returns a context carrying tr; subsequent Start calls under it
+// record spans.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, tr)
+}
+
+// TracerFrom returns the context's tracer, or nil when tracing is off.
+func TracerFrom(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(tracerKey).(*Tracer)
+	return tr
+}
+
+// Start opens a span named name under the context's tracer and returns a
+// child context carrying it, so nested Start calls become child spans.
+// Without a tracer it returns (ctx, nil); the nil *Span is a no-op — End
+// and SetAttr on it are safe — so instrumented code never branches on
+// whether tracing is enabled.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	tr := TracerFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	parent := 0
+	if p, ok := ctx.Value(spanKey).(*Span); ok && p != nil {
+		parent = p.id
+	}
+	s := tr.start(name, parent)
+	return context.WithValue(ctx, spanKey, s), s
+}

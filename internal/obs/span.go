@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute. Attributes keep insertion order so exported
+// traces are stable for a deterministic caller.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// SpanRecord is one finished span as exported by Tracer.Records and
+// WriteJSON. Durations come from the tracer's Clock, so a Fake clock makes
+// them exact test fixtures.
+type SpanRecord struct {
+	ID            int    `json:"id"`
+	Parent        int    `json:"parent,omitempty"`
+	Name          string `json:"name"`
+	StartUnixNano int64  `json:"start_unix_nano"`
+	DurationNS    int64  `json:"duration_ns"`
+	Attrs         []Attr `json:"attrs,omitempty"`
+}
+
+// Tracer collects finished spans. Create one per run (NewTracer), install
+// it with WithTracer, open spans with Start, and export with Records or
+// WriteJSON. Safe for concurrent use.
+type Tracer struct {
+	clock Clock
+
+	mu       sync.Mutex
+	nextID   int
+	finished []SpanRecord
+}
+
+// NewTracer returns a tracer timing spans on clock (nil means the system
+// clock).
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		clock = System()
+	}
+	return &Tracer{clock: clock}
+}
+
+func (t *Tracer) start(name string, parent int) *Span {
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{tracer: t, id: id, parent: parent, name: name, start: t.clock.Now()}
+}
+
+// Records returns a copy of the finished spans in End order.
+func (t *Tracer) Records() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.finished...)
+}
+
+// WriteJSON renders the finished spans as an indented JSON document:
+// {"spans": [...]}.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string][]SpanRecord{"spans": t.Records()})
+}
+
+// Span is one in-flight operation. A nil *Span (tracing off) is a valid
+// no-op receiver for every method.
+type Span struct {
+	tracer *Tracer
+	id     int
+	parent int
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// SetAttr attaches a key/value attribute to the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span, measuring its duration on the tracer's clock and
+// handing the record to the tracer. Second and later End calls are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		ID:            s.id,
+		Parent:        s.parent,
+		Name:          s.name,
+		StartUnixNano: s.start.UnixNano(),
+		DurationNS:    s.tracer.clock.Since(s.start).Nanoseconds(),
+		Attrs:         append([]Attr(nil), s.attrs...),
+	}
+	s.mu.Unlock()
+
+	s.tracer.mu.Lock()
+	s.tracer.finished = append(s.tracer.finished, rec)
+	s.tracer.mu.Unlock()
+}
