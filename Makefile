@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz-smoke chaos corruption obs-smoke fmt verify
+.PHONY: all build lint test race fuzz-smoke chaos corruption blocks bench-json obs-smoke fmt verify
 
 all: build
 
@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test ./internal/compress -run='^$$' -fuzz=FuzzDecompressAll -fuzztime=5s
 	$(GO) test ./internal/compress -run='^$$' -fuzz=FuzzCacheKey -fuzztime=5s
 	$(GO) test ./internal/compress -run='^$$' -fuzz=FuzzFrameOpen -fuzztime=5s
+	$(GO) test ./internal/compress -run='^$$' -fuzz=FuzzBlockContainerOpen -fuzztime=5s
 
 # Hardened-decode gate: the armored-frame corruption suite (truncation,
 # bit flips, extension, header tampering against all registered codecs),
@@ -42,6 +43,22 @@ fuzz-smoke:
 corruption:
 	$(GO) test ./internal/compress/... -race -run 'Corruption|NeverPanics|SafeDecompress|Frame|Seal|Open'
 	$(GO) test ./internal/cloud -race -run 'ExchangeDetectsCorruption|ExchangeBlobIsArmoredFrame'
+
+# Block-engine gate: the property-based BlockSuite (round-trip at block
+# boundaries, 1k-probe seek equivalence, jobs determinism, block-vs-whole
+# differential) and the multi-block corruption mutants across all
+# registered codecs, plus the hostile-header, cache-aliasing, block
+# exchange and block CLI tests — all under the race detector.
+blocks:
+	$(GO) test ./internal/compress/... -race -run 'Block'
+	$(GO) test ./internal/cloud -race -run 'ExchangeBlocks'
+	$(GO) test ./cmd/dnacomp -race -run 'Block'
+
+# Regenerate the per-PR benchmark snapshot (BENCH_<n>.json). Numbers are
+# hardware-dependent; commit the snapshot from the PR that changes the
+# measured path.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_6.json
 
 # Chaos gate: the fault-injection and exchange tests under -race, run
 # twice to prove the seeded fault schedules and retry backoff reproduce
@@ -69,4 +86,4 @@ obs-smoke:
 fmt:
 	gofmt -w .
 
-verify: lint build race chaos corruption obs-smoke
+verify: lint build race chaos corruption blocks obs-smoke

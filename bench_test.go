@@ -14,6 +14,7 @@
 package ctxdna_bench
 
 import (
+	"bytes"
 	"context"
 	"sync"
 	"testing"
@@ -270,6 +271,76 @@ func BenchmarkRunCachedSweep(b *testing.B) {
 	b.StopTimer()
 	hits, misses := cache.Counters()
 	b.ReportMetric(float64(hits)/float64(hits+misses), "hit_rate")
+}
+
+// --- Block engine (DESIGN.md §12) ---
+
+// blockBenchSeq is the block-engine corpus: 1 MB of corpus-profile
+// sequence, sixteen 64 KB blocks — enough fan-out for the pool to matter.
+func blockBenchSeq() []byte {
+	p := synth.Profile{Length: 1 << 20, GC: 0.42, RepeatProb: 0.0015, RepeatMin: 20, RepeatMax: 400}
+	return p.Generate(61)
+}
+
+// BenchmarkBlockCompressJobs sweeps the block worker count over a 1 MB
+// sequence split into 64 KB blocks. Output bytes are identical at every
+// setting (asserted once), so the sweep isolates pure pool scaling; this is
+// the benchmark cmd/benchjson pins into BENCH_<n>.json per PR.
+func BenchmarkBlockCompressJobs(b *testing.B) {
+	src := blockBenchSeq()
+	opts := compress.BlockOptions{BlockSize: 64 << 10}
+	base, _, err := compress.BlockCompress("dnax", src, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(benchName("jobs", jobs), func(b *testing.B) {
+			o := opts
+			o.Jobs = jobs
+			container, _, err := compress.BlockCompress("dnax", src, o)
+			if err != nil || !bytes.Equal(container, base) {
+				b.Fatalf("jobs=%d container diverged (err=%v)", jobs, err)
+			}
+			b.SetBytes(int64(len(src)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := compress.BlockCompress("dnax", src, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBlockSeek measures random-access reads from a sealed container:
+// a 512-base window through Slice decodes only the touched block, versus
+// the full-container decode it replaces.
+func BenchmarkBlockSeek(b *testing.B) {
+	src := blockBenchSeq()
+	container, _, err := compress.BlockCompress("dnax", src, compress.BlockOptions{BlockSize: 64 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := compress.OpenBlocks(container, compress.Limits{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("slice512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			off := (i * 37 * 512) % (len(src) - 512)
+			if _, _, err := r.Slice(off, 512); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := r.Decompress(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Ablations (DESIGN.md §5) ---

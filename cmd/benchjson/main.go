@@ -1,0 +1,171 @@
+// Command benchjson runs the pinned block-engine benchmark suite and
+// writes a machine-readable BENCH_<n>.json snapshot, so every PR records
+// its performance trajectory as data instead of prose:
+//
+//	go run ./cmd/benchjson -o BENCH_6.json
+//
+// The suite is the same sweep as BenchmarkBlockCompressJobs /
+// BenchmarkBlockSeek in the repo benchmarks: block compression at jobs
+// 1/2/4/8 on a 1 MB corpus-profile sequence in 64 KB blocks, the
+// whole-slice baseline, the full-container decode, and a 512-base seek.
+// Absolute numbers are hardware-dependent; the recorded shapes (jobs
+// scaling, seek vs full decode) are the comparison targets across PRs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+
+	_ "github.com/srl-nuces/ctxdna/internal/compress/dnax"
+)
+
+// Record is one benchmark result row.
+type Record struct {
+	Name     string  `json:"name"`
+	N        int     `json:"n"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	MBPerS   float64 `json:"mb_per_s,omitempty"`
+	BytesOp  int64   `json:"bytes_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+}
+
+// Doc is the snapshot file layout.
+type Doc struct {
+	Schema     string   `json:"schema"`
+	Suite      string   `json:"suite"`
+	Go         string   `json:"go"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Codec      string   `json:"codec"`
+	Bases      int      `json:"bases"`
+	BlockSize  int      `json:"block_size"`
+	Records    []Record `json:"records"`
+}
+
+func record(name string, processed int, r testing.BenchmarkResult) Record {
+	rec := Record{
+		Name:     name,
+		N:        r.N,
+		NsPerOp:  float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesOp:  r.AllocedBytesPerOp(),
+		AllocsOp: r.AllocsPerOp(),
+	}
+	if processed > 0 && r.T > 0 {
+		rec.MBPerS = float64(processed) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	return rec
+}
+
+func run(codecName string, bases, blockSize int) (Doc, error) {
+	doc := Doc{
+		Schema:     "ctxdna-bench/v1",
+		Suite:      "block-engine",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Codec:      codecName,
+		Bases:      bases,
+		BlockSize:  blockSize,
+	}
+	p := synth.Profile{Length: bases, GC: 0.42, RepeatProb: 0.0015, RepeatMin: 20, RepeatMax: 400}
+	src := p.Generate(61)
+
+	// Determinism gate before timing anything: every jobs setting must emit
+	// the same container bytes, or the sweep compares different work.
+	base, _, err := compress.BlockCompress(codecName, src, compress.BlockOptions{BlockSize: blockSize})
+	if err != nil {
+		return doc, err
+	}
+	for _, jobs := range []int{1, 2, 4, 8} {
+		opts := compress.BlockOptions{BlockSize: blockSize, Jobs: jobs}
+		container, _, err := compress.BlockCompress(codecName, src, opts)
+		if err != nil {
+			return doc, err
+		}
+		if string(container) != string(base) {
+			return doc, fmt.Errorf("jobs=%d produced a different container", jobs)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := compress.BlockCompress(codecName, src, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		doc.Records = append(doc.Records, record(fmt.Sprintf("block_compress/jobs=%d", jobs), bases, r))
+	}
+
+	// Whole-slice baseline: the single-frame path block mode sits beside.
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := compress.New(codecName)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload, _, err := c.Compress(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			compress.Seal(codecName, src, payload)
+		}
+	})
+	doc.Records = append(doc.Records, record("whole_slice_compress", bases, r))
+
+	rd, err := compress.OpenBlocks(base, compress.Limits{})
+	if err != nil {
+		return doc, err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := rd.Decompress(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.Records = append(doc.Records, record("block_decompress", bases, r))
+
+	r = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			off := (i * 37 * 512) % (bases - 512)
+			if _, _, err := rd.Slice(off, 512); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.Records = append(doc.Records, record("block_seek_512", 512, r))
+	return doc, nil
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "", "output path (default stdout)")
+		codecName = flag.String("codec", "dnax", "codec to benchmark")
+		bases     = flag.Int("bases", 1<<20, "sequence length in bases")
+		blockSize = flag.Int("block-size", 64<<10, "block size in bases")
+	)
+	flag.Parse()
+	doc, err := run(*codecName, *bases, *blockSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// TestRunSmall runs the full suite on a tiny input so the snapshot
+// machinery is exercised in normal test runs without benchmark-scale time.
+// The benchtime flag is dialed down to a fixed iteration count: this test
+// checks the snapshot shape, not the numbers.
+func TestRunSmall(t *testing.T) {
+	if f := flag.Lookup("test.benchtime"); f != nil {
+		old := f.Value.String()
+		if err := f.Value.Set("5x"); err != nil {
+			t.Fatal(err)
+		}
+		defer f.Value.Set(old)
+	}
+	doc, err := run("dnax", 2048, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "ctxdna-bench/v1" || doc.Codec != "dnax" {
+		t.Fatalf("bad doc header: %+v", doc)
+	}
+	want := []string{
+		"block_compress/jobs=1", "block_compress/jobs=2", "block_compress/jobs=4", "block_compress/jobs=8",
+		"whole_slice_compress", "block_decompress", "block_seek_512",
+	}
+	if len(doc.Records) != len(want) {
+		t.Fatalf("%d records, want %d: %+v", len(doc.Records), len(want), doc.Records)
+	}
+	for i, rec := range doc.Records {
+		if rec.Name != want[i] {
+			t.Errorf("record %d is %q, want %q", i, rec.Name, want[i])
+		}
+		if rec.N <= 0 || rec.NsPerOp <= 0 {
+			t.Errorf("%s: empty measurement %+v", rec.Name, rec)
+		}
+	}
+}
+
+// TestRecordThroughput: MB/s is derived from processed bytes per op.
+func TestRecordThroughput(t *testing.T) {
+	r := testing.BenchmarkResult{N: 10, T: time.Second}
+	rec := record("x", 1_000_000, r)
+	if rec.MBPerS < 9.99 || rec.MBPerS > 10.01 {
+		t.Fatalf("MBPerS = %v, want ~10", rec.MBPerS)
+	}
+	if rec = record("y", 0, r); rec.MBPerS != 0 {
+		t.Fatalf("no-bytes record got MBPerS %v", rec.MBPerS)
+	}
+}

@@ -29,6 +29,17 @@
 // failures and capped exponential retry backoff:
 //
 //	dnacomp -exchange -codec dnax -fault-rate 0.3 -retries 8 seq.fa
+//
+// Block mode splits the input into fixed-size blocks compressed through a
+// bounded worker pool into one seekable multi-block container (CXB1); -seek
+// then decodes just a symbol range, touching only the overlapping blocks:
+//
+//	dnacomp -codec dnax -block-size 65536 -o seq.cxb seq.fa
+//	dnacomp -d -seek 120000:512 seq.cxb
+//
+// Without -block-size the single-frame format is used, byte-identical with
+// earlier releases. In exchange mode -block-size uploads each block as its
+// own BLOB through a pipelined transfer pool with per-block retries.
 package main
 
 import (
@@ -40,6 +51,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -76,12 +88,14 @@ func main() {
 		faultRate  = flag.Float64("fault-rate", 0, "transient-fault probability per storage op in exchange mode")
 		retries    = flag.Int("retries", cloud.DefaultRetryPolicy().MaxRetries, "retry budget per storage op in exchange mode")
 		faultSeed  = flag.Uint64("fault-seed", 2015, "seed for the fault schedule and retry jitter in exchange mode")
+		blockSize  = flag.Int("block-size", 0, "compress into a seekable multi-block container with this block size in bases (0 = single frame)")
+		seekSpec   = flag.String("seek", "", "with -d on a multi-block container: decode only off:len symbols, touching only overlapping blocks")
 		metricsOut = flag.String("metrics", "", "write a Prometheus text metrics snapshot to this file on exit (- for stderr)")
 		traceOut   = flag.String("trace", "", "write the span trace as JSON to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
-	if err := validateFlags(*faultRate, *retries); err != nil {
+	if err := validateFlags(*faultRate, *retries, *blockSize, *seekSpec, *decompress); err != nil {
 		fmt.Fprintln(os.Stderr, "dnacomp:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -106,11 +120,11 @@ func main() {
 	var err error
 	switch {
 	case *exchange:
-		err = runExchange(ctx, *codecName, *faultRate, *retries, *faultSeed, *quiet, flag.Args())
+		err = runExchange(ctx, *codecName, *faultRate, *retries, *faultSeed, *blockSize, *quiet, flag.Args())
 	case *batch:
 		err = runBatch(*codecName, *decompress, *output, *quiet, *jobs, flag.Args())
 	default:
-		err = run(*codecName, *decompress, *output, *quiet, flag.Args())
+		err = run(*codecName, *decompress, *output, *quiet, *blockSize, *seekSpec, flag.Args())
 	}
 	// Snapshots are written even after a failed run: the metrics of a
 	// failure are exactly what a debugging user wants.
@@ -159,17 +173,43 @@ func writeFileWith(path string, write func(io.Writer) error) error {
 // is a probability, and a negative retry budget has no meaning. Failing
 // fast with a usage error beats a fault schedule that silently never fires
 // or a retry loop with undefined bounds.
-func validateFlags(faultRate float64, retries int) error {
+func validateFlags(faultRate float64, retries, blockSize int, seekSpec string, decompress bool) error {
 	if faultRate < 0 || faultRate > 1 {
 		return fmt.Errorf("-fault-rate %v is not a probability: must be in [0,1]", faultRate)
 	}
 	if retries < 0 {
 		return fmt.Errorf("-retries %d is negative: must be >= 0", retries)
 	}
+	if blockSize < 0 {
+		return fmt.Errorf("-block-size %d is negative: must be >= 0 (0 = single frame)", blockSize)
+	}
+	if seekSpec != "" {
+		if !decompress {
+			return fmt.Errorf("-seek only applies with -d")
+		}
+		if _, _, err := parseSeek(seekSpec); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-func run(codecName string, decompress bool, output string, quiet bool, args []string) error {
+// parseSeek splits "off:len" into non-negative symbol counts.
+func parseSeek(spec string) (off, n int, err error) {
+	offStr, lenStr, ok := strings.Cut(spec, ":")
+	if ok {
+		off, err = strconv.Atoi(offStr)
+		if err == nil {
+			n, err = strconv.Atoi(lenStr)
+		}
+	}
+	if !ok || err != nil || off < 0 || n < 0 {
+		return 0, 0, fmt.Errorf("-seek %q: want off:len with non-negative integers", spec)
+	}
+	return off, n, nil
+}
+
+func run(codecName string, decompress bool, output string, quiet bool, blockSize int, seekSpec string, args []string) error {
 	in, name, err := openInput(args)
 	if err != nil {
 		return err
@@ -180,9 +220,14 @@ func run(codecName string, decompress bool, output string, quiet bool, args []st
 		return fmt.Errorf("reading %s: %w", name, err)
 	}
 	var result []byte
-	if decompress {
+	switch {
+	case decompress && seekSpec != "":
+		result, err = doSeek(raw, seekSpec, quiet)
+	case decompress:
 		result, err = doDecompress(raw, quiet)
-	} else {
+	case blockSize > 0:
+		result, err = doBlockCompress(codecName, blockSize, raw, quiet)
+	default:
 		result, err = doCompress(codecName, raw, quiet)
 	}
 	if err != nil {
@@ -230,7 +275,7 @@ func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
 // BLOB storage, download at the datacenter, decompress and verify — and
 // reports the modeled stage times and the retry trace. ctx carries the
 // tracer when -trace is set; metrics go to the default registry.
-func runExchange(ctx context.Context, codecName string, faultRate float64, retries int, faultSeed uint64, quiet bool, args []string) error {
+func runExchange(ctx context.Context, codecName string, faultRate float64, retries int, faultSeed uint64, blockSize int, quiet bool, args []string) error {
 	in, name, err := openInput(args)
 	if err != nil {
 		return err
@@ -253,13 +298,32 @@ func runExchange(ctx context.Context, codecName string, faultRate float64, retri
 	policy.MaxRetries = retries
 	policy.Seed = faultSeed
 	client := cloud.Grid()[0] // a representative slow lab guest
-	rep, err := cloud.Exchange(ctx, client, store, codecName, symbols, cloud.ExchangeOptions{
+	exOpts := cloud.ExchangeOptions{
 		Blob:    filepath.Base(name),
 		Retry:   policy,
 		Cleanup: true,
-	})
-	if err != nil {
-		return fmt.Errorf("exchange: %w", err)
+	}
+	var rep cloud.ExchangeReport
+	if blockSize > 0 {
+		// Block mode: each block travels as its own BLOB through a pipelined
+		// transfer pool with an independent retry schedule per piece.
+		brep, err := cloud.ExchangeBlocks(ctx, client, store, codecName, symbols, cloud.BlockExchangeOptions{
+			ExchangeOptions: exOpts,
+			Block:           compress.BlockOptions{BlockSize: blockSize},
+		})
+		if err != nil {
+			return fmt.Errorf("exchange: %w", err)
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "dnacomp: block exchange: %d block(s) of %d bases, container %d bytes\n",
+				brep.Blocks, blockSize, brep.ContainerBytes)
+		}
+		rep = brep.ExchangeReport
+	} else {
+		rep, err = cloud.Exchange(ctx, client, store, codecName, symbols, exOpts)
+		if err != nil {
+			return fmt.Errorf("exchange: %w", err)
+		}
 	}
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "dnacomp: exchange via %s on %s: %d bases -> %d bytes (%.3f bits/base)\n",
@@ -305,6 +369,52 @@ func doCompress(codecName string, raw []byte, quiet bool) ([]byte, error) {
 			stats.Ambiguous+stats.Other, float64(st.WorkNS)/1e6, float64(st.PeakMem)/(1<<20))
 	}
 	return compress.Seal(codec.Name(), symbols, data), nil
+}
+
+// doBlockCompress writes the seekable multi-block container instead of a
+// single frame: blocks are compressed concurrently but the output bytes are
+// deterministic for any worker count.
+func doBlockCompress(codecName string, blockSize int, raw []byte, quiet bool) ([]byte, error) {
+	symbols, stats := cleanse(raw)
+	if len(symbols) == 0 {
+		return nil, fmt.Errorf("input contains no ACGT bases")
+	}
+	container, st, err := compress.BlockCompressObserved(nil, codecName, symbols, compress.BlockOptions{BlockSize: blockSize})
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		blocks := (len(symbols) + blockSize - 1) / blockSize
+		fmt.Fprintf(os.Stderr, "dnacomp: %s: %d bases -> %d bytes in %d block(s) of %d (%.3f bits/base, dropped %d non-ACGT), modeled %.1f ms / %.1f MB on the reference core\n",
+			codecName, len(symbols), len(container), blocks, blockSize, compress.Ratio(len(symbols), len(container)),
+			stats.Ambiguous+stats.Other, float64(st.WorkNS)/1e6, float64(st.PeakMem)/(1<<20))
+	}
+	return container, nil
+}
+
+// doSeek decodes only the requested symbol range from a multi-block
+// container — the blocks outside the range are never decompressed.
+func doSeek(raw []byte, spec string, quiet bool) ([]byte, error) {
+	off, n, err := parseSeek(spec)
+	if err != nil {
+		return nil, err
+	}
+	if !compress.IsBlockContainer(raw) {
+		return nil, fmt.Errorf("-seek needs a multi-block container (CXB1 header); this file is a single frame — recompress with -block-size")
+	}
+	r, err := compress.OpenBlocksObserved(nil, raw, compress.Limits{})
+	if err != nil {
+		return nil, err
+	}
+	symbols, st, err := r.Slice(off, n)
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "dnacomp: %s: decoded %d of %d bases at offset %d (block size %d, touched blocks only), modeled %.1f ms\n",
+			r.Codec(), n, r.Bases(), off, r.BlockSize(), float64(st.WorkNS)/1e6)
+	}
+	return seq.Decode(symbols), nil
 }
 
 func cleanse(raw []byte) ([]byte, seq.CleanStats) {
@@ -422,6 +532,9 @@ func doDecompress(raw []byte, quiet bool) ([]byte, error) {
 		return nil, fmt.Errorf("legacy un-armored container (%q header): it carries no checksums; recompress the source with this version",
 			strings.TrimSpace(legacyMagic))
 	}
+	if compress.IsBlockContainer(raw) {
+		return doBlockDecompress(raw, quiet)
+	}
 	symbols, st, err := compress.SafeDecompress("", raw, compress.Limits{})
 	// The frame header names the codec; a frame too corrupt to open books
 	// under "unknown" so failed restores are still counted somewhere.
@@ -436,6 +549,27 @@ func doDecompress(raw []byte, quiet bool) ([]byte, error) {
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "dnacomp: %s: restored %d bases (checksums verified), modeled %.1f ms\n",
 			codecName, len(symbols), float64(st.WorkNS)/1e6)
+	}
+	return seq.Decode(symbols), nil
+}
+
+// doBlockDecompress restores a multi-block (CXB1) container: every block is
+// decoded through the hardened per-block path and the whole output is
+// verified against the container-level checksum.
+func doBlockDecompress(raw []byte, quiet bool) ([]byte, error) {
+	r, err := compress.OpenBlocksObserved(nil, raw, compress.Limits{})
+	if err != nil {
+		compress.ObserveDecompress(nil, "unknown", len(raw), 0, compress.Stats{}, err)
+		return nil, err
+	}
+	symbols, st, err := r.Decompress()
+	compress.ObserveDecompress(nil, r.Codec(), len(raw), len(symbols), st, err)
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "dnacomp: %s: restored %d bases from %d block(s) (checksums verified), modeled %.1f ms\n",
+			r.Codec(), len(symbols), r.Blocks(), float64(st.WorkNS)/1e6)
 	}
 	return seq.Decode(symbols), nil
 }

@@ -30,11 +30,11 @@ func TestRoundTripRawText(t *testing.T) {
 	ascii := p.GenerateASCII(1)
 	in := writeTemp(t, "seq.txt", ascii)
 	packed := filepath.Join(t.TempDir(), "seq.dnax")
-	if err := run("dnax", false, packed, true, []string{in}); err != nil {
+	if err := run("dnax", false, packed, true, 0, "", []string{in}); err != nil {
 		t.Fatal(err)
 	}
 	restored := filepath.Join(t.TempDir(), "restored.txt")
-	if err := run("", true, restored, true, []string{packed}); err != nil {
+	if err := run("", true, restored, true, 0, "", []string{packed}); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(restored)
@@ -55,11 +55,11 @@ func TestRoundTripFASTA(t *testing.T) {
 	}
 	in := writeTemp(t, "seq.fa", fasta.Bytes())
 	packed := filepath.Join(t.TempDir(), "seq.ctw")
-	if err := run("ctw", false, packed, true, []string{in}); err != nil {
+	if err := run("ctw", false, packed, true, 0, "", []string{in}); err != nil {
 		t.Fatal(err)
 	}
 	restored := filepath.Join(t.TempDir(), "restored.txt")
-	if err := run("", true, restored, true, []string{packed}); err != nil {
+	if err := run("", true, restored, true, 0, "", []string{packed}); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(restored)
@@ -77,11 +77,11 @@ func TestEveryRegisteredCodecThroughCLI(t *testing.T) {
 	in := writeTemp(t, "seq.txt", ascii)
 	for _, name := range compress.Names() {
 		packed := filepath.Join(t.TempDir(), "seq."+name)
-		if err := run(name, false, packed, true, []string{in}); err != nil {
+		if err := run(name, false, packed, true, 0, "", []string{in}); err != nil {
 			t.Fatalf("%s: compress: %v", name, err)
 		}
 		restored := filepath.Join(t.TempDir(), "restored."+name)
-		if err := run("", true, restored, true, []string{packed}); err != nil {
+		if err := run("", true, restored, true, 0, "", []string{packed}); err != nil {
 			t.Fatalf("%s: decompress: %v", name, err)
 		}
 		got, err := os.ReadFile(restored)
@@ -95,7 +95,7 @@ func TestContainerSelfDescribes(t *testing.T) {
 	p := synth.Profile{Length: 1000, GC: 0.5}
 	in := writeTemp(t, "seq.txt", p.GenerateASCII(4))
 	packed := filepath.Join(t.TempDir(), "seq.bin")
-	if err := run("gencompress", false, packed, true, []string{in}); err != nil {
+	if err := run("gencompress", false, packed, true, 0, "", []string{in}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(packed)
@@ -124,7 +124,7 @@ func TestDecompressRejectsCorruptedFile(t *testing.T) {
 	p := synth.Profile{Length: 2000, GC: 0.5}
 	in := writeTemp(t, "seq.txt", p.GenerateASCII(5))
 	packed := filepath.Join(t.TempDir(), "seq.dnax")
-	if err := run("dnax", false, packed, true, []string{in}); err != nil {
+	if err := run("dnax", false, packed, true, 0, "", []string{in}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(packed)
@@ -134,7 +134,7 @@ func TestDecompressRejectsCorruptedFile(t *testing.T) {
 	data[len(data)-1] ^= 0x10
 	corrupted := writeTemp(t, "corrupt.dnax", data)
 	restored := filepath.Join(t.TempDir(), "restored.txt")
-	err = run("", true, restored, true, []string{corrupted})
+	err = run("", true, restored, true, 0, "", []string{corrupted})
 	if err == nil {
 		t.Fatal("corrupted container accepted")
 	}
@@ -150,26 +150,103 @@ func TestDecompressRejectsCorruptedFile(t *testing.T) {
 // error so users know to recompress rather than chase a corruption report.
 func TestLegacyContainerRefusedClearly(t *testing.T) {
 	legacy := append([]byte(legacyMagic), []byte("dnax\nabc")...)
-	err := run("", true, "", true, []string{writeTemp(t, "old.bin", legacy)})
+	err := run("", true, "", true, 0, "", []string{writeTemp(t, "old.bin", legacy)})
 	if err == nil || !strings.Contains(err.Error(), "legacy") {
 		t.Fatalf("legacy container error %v does not say it is legacy", err)
 	}
 }
 
-// TestValidateFlags: exchange knobs outside their domain fail fast.
+// TestValidateFlags: exchange and block knobs outside their domain fail fast.
 func TestValidateFlags(t *testing.T) {
 	for _, tc := range []struct {
-		rate    float64
-		retries int
-		ok      bool
+		rate       float64
+		retries    int
+		blockSize  int
+		seek       string
+		decompress bool
+		ok         bool
 	}{
-		{0, 0, true}, {1, 0, true}, {0.5, 8, true},
-		{-0.1, 0, false}, {1.01, 0, false}, {0, -1, false},
+		{0, 0, 0, "", false, true}, {1, 0, 0, "", false, true}, {0.5, 8, 0, "", false, true},
+		{-0.1, 0, 0, "", false, false}, {1.01, 0, 0, "", false, false}, {0, -1, 0, "", false, false},
+		{0, 0, 4096, "", false, true}, {0, 0, -1, "", false, false},
+		{0, 0, 0, "10:20", true, true}, {0, 0, 0, "0:0", true, true},
+		{0, 0, 0, "10:20", false, false}, // -seek without -d
+		{0, 0, 0, "10", true, false}, {0, 0, 0, "-1:5", true, false},
+		{0, 0, 0, "a:b", true, false}, {0, 0, 0, "5:-1", true, false},
 	} {
-		err := validateFlags(tc.rate, tc.retries)
+		err := validateFlags(tc.rate, tc.retries, tc.blockSize, tc.seek, tc.decompress)
 		if (err == nil) != tc.ok {
-			t.Errorf("validateFlags(%v, %d) = %v, want ok=%v", tc.rate, tc.retries, err, tc.ok)
+			t.Errorf("validateFlags(%v, %d, %d, %q, %v) = %v, want ok=%v",
+				tc.rate, tc.retries, tc.blockSize, tc.seek, tc.decompress, err, tc.ok)
 		}
+	}
+}
+
+// TestBlockContainerRoundTripCLI: -block-size writes a CXB1 container that
+// -d restores to the original text, and -seek decodes exactly the requested
+// window of it.
+func TestBlockContainerRoundTripCLI(t *testing.T) {
+	p := synth.Profile{Length: 6000, GC: 0.45, RepeatProb: 0.002, RepeatMin: 20, RepeatMax: 150}
+	ascii := p.GenerateASCII(51)
+	in := writeTemp(t, "seq.txt", ascii)
+	packed := filepath.Join(t.TempDir(), "seq.cxb")
+	if err := run("dnax", false, packed, true, 1024, "", []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compress.IsBlockContainer(data) {
+		t.Fatal("-block-size output is not a CXB1 container")
+	}
+	restored := filepath.Join(t.TempDir(), "restored.txt")
+	if err := run("", true, restored, true, 0, "", []string{packed}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(restored)
+	if err != nil || !bytes.Equal(got, ascii) {
+		t.Fatalf("block container round trip mismatch (%v)", err)
+	}
+	// -seek spanning a block boundary returns exactly that slice of the text.
+	window := filepath.Join(t.TempDir(), "window.txt")
+	if err := run("", true, window, true, 0, "900:300", []string{packed}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(window)
+	if err != nil || !bytes.Equal(got, ascii[900:1200]) {
+		t.Fatalf("-seek window mismatch (%v)", err)
+	}
+	// -seek on a single-frame file is refused with a pointer to -block-size.
+	single := filepath.Join(t.TempDir(), "seq.dnax")
+	if err := run("dnax", false, single, true, 0, "", []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", true, "", true, 0, "0:10", []string{single}); err == nil || !strings.Contains(err.Error(), "block-size") {
+		t.Fatalf("-seek on a single frame: err = %v", err)
+	}
+	// Out-of-range seek fails without being a corruption report.
+	if err := run("", true, "", true, 0, "5999:100", []string{packed}); err == nil || errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("out-of-range seek: err = %v", err)
+	}
+	// A corrupted block container is refused with ErrCorrupt.
+	data[len(data)-2] ^= 0x08
+	bad := writeTemp(t, "bad.cxb", data)
+	if err := run("", true, "", true, 0, "", []string{bad}); !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("corrupted block container: err = %v", err)
+	}
+}
+
+// TestExchangeModeBlocks: the block-mode exchange loop round-trips through
+// clean and fault-injected stores from the CLI.
+func TestExchangeModeBlocks(t *testing.T) {
+	p := synth.Profile{Length: 3000, GC: 0.5}
+	in := writeTemp(t, "seq.txt", p.GenerateASCII(52))
+	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, 512, true, []string{in}); err != nil {
+		t.Fatalf("clean block exchange: %v", err)
+	}
+	if err := runExchange(context.Background(), "dnax", 0.3, 8, 2015, 512, true, []string{in}); err != nil {
+		t.Fatalf("faulty block exchange at 30%%: %v", err)
 	}
 }
 
@@ -222,7 +299,7 @@ func TestBatchCompress(t *testing.T) {
 	} {
 		packed := filepath.Join(outDir, filepath.Base(tc.in)+".dnax")
 		restored := filepath.Join(t.TempDir(), "restored.txt")
-		if err := run("", true, restored, true, []string{packed}); err != nil {
+		if err := run("", true, restored, true, 0, "", []string{packed}); err != nil {
 			t.Fatalf("%s: decompress: %v", packed, err)
 		}
 		got, err := os.ReadFile(restored)
@@ -277,20 +354,20 @@ func TestBatchErrors(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
-	if err := run("nope", false, "", true, []string{writeTemp(t, "x.txt", []byte("ACGT"))}); err == nil || !strings.Contains(err.Error(), "unknown codec") {
+	if err := run("nope", false, "", true, 0, "", []string{writeTemp(t, "x.txt", []byte("ACGT"))}); err == nil || !strings.Contains(err.Error(), "unknown codec") {
 		t.Errorf("unknown codec: err = %v", err)
 	}
-	if err := run("dnax", false, "", true, []string{writeTemp(t, "x.txt", []byte("12345"))}); err == nil {
+	if err := run("dnax", false, "", true, 0, "", []string{writeTemp(t, "x.txt", []byte("12345"))}); err == nil {
 		t.Error("no-ACGT input accepted")
 	}
-	if err := run("", true, "", true, []string{writeTemp(t, "x.bin", []byte("garbage"))}); err == nil {
+	if err := run("", true, "", true, 0, "", []string{writeTemp(t, "x.bin", []byte("garbage"))}); err == nil {
 		t.Error("garbage container accepted")
 	}
-	if err := run("dnax", false, "", true, []string{filepath.Join(t.TempDir(), "missing.txt")}); err == nil {
+	if err := run("dnax", false, "", true, 0, "", []string{filepath.Join(t.TempDir(), "missing.txt")}); err == nil {
 		t.Error("missing input accepted")
 	}
 	truncated := []byte(compress.FrameMagic + "\x01") // magic but nothing else
-	if err := run("", true, "", true, []string{writeTemp(t, "t.bin", truncated)}); err == nil {
+	if err := run("", true, "", true, 0, "", []string{writeTemp(t, "t.bin", truncated)}); err == nil {
 		t.Error("truncated header accepted")
 	}
 }
@@ -300,20 +377,20 @@ func TestErrors(t *testing.T) {
 func TestExchangeMode(t *testing.T) {
 	p := synth.Profile{Length: 3000, GC: 0.5, RepeatProb: 0.002, RepeatMin: 20, RepeatMax: 100}
 	in := writeTemp(t, "seq.txt", p.GenerateASCII(31))
-	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, true, []string{in}); err != nil {
+	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, 0, true, []string{in}); err != nil {
 		t.Fatalf("clean exchange: %v", err)
 	}
-	if err := runExchange(context.Background(), "dnax", 0.3, 8, 2015, true, []string{in}); err != nil {
+	if err := runExchange(context.Background(), "dnax", 0.3, 8, 2015, 0, true, []string{in}); err != nil {
 		t.Fatalf("faulty exchange at 30%%: %v", err)
 	}
-	if err := runExchange(context.Background(), "nope", 0, 8, 2015, true, []string{in}); err == nil {
+	if err := runExchange(context.Background(), "nope", 0, 8, 2015, 0, true, []string{in}); err == nil {
 		t.Error("unknown codec accepted in exchange mode")
 	}
-	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, true, []string{writeTemp(t, "n.txt", []byte("123"))}); err == nil {
+	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, 0, true, []string{writeTemp(t, "n.txt", []byte("123"))}); err == nil {
 		t.Error("no-ACGT input accepted in exchange mode")
 	}
 	// A retry budget of zero against a certain first-attempt fault fails.
-	if err := runExchange(context.Background(), "dnax", 1, 0, 2015, true, []string{in}); err == nil {
+	if err := runExchange(context.Background(), "dnax", 1, 0, 2015, 0, true, []string{in}); err == nil {
 		t.Error("always-failing store with no retries reported success")
 	}
 }
@@ -327,15 +404,15 @@ func TestObservabilityExports(t *testing.T) {
 	in := writeTemp(t, "seq.txt", p.GenerateASCII(41))
 	packed := filepath.Join(dir, "seq.dnax")
 	restored := filepath.Join(dir, "seq.out")
-	if err := run("dnax", false, packed, true, []string{in}); err != nil {
+	if err := run("dnax", false, packed, true, 0, "", []string{in}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", true, restored, true, []string{packed}); err != nil {
+	if err := run("", true, restored, true, 0, "", []string{packed}); err != nil {
 		t.Fatal(err)
 	}
 	tracer := obs.NewTracer(obs.System())
 	ctx := obs.WithTracer(context.Background(), tracer)
-	if err := runExchange(ctx, "dnax", 0, 8, 2015, true, []string{in}); err != nil {
+	if err := runExchange(ctx, "dnax", 0, 8, 2015, 0, true, []string{in}); err != nil {
 		t.Fatal(err)
 	}
 

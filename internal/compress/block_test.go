@@ -1,0 +1,288 @@
+package compress_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+// blockSrc builds a deterministic symbol sequence of length n.
+func blockSrc(n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte((i*7 + i/13) % 4)
+	}
+	return s
+}
+
+func TestBlockRoundTripSizes(t *testing.T) {
+	const bs = 64
+	for _, n := range []int{0, 1, bs - 1, bs, bs + 1, 3*bs + 17, 10 * bs} {
+		src := blockSrc(n)
+		container, st, err := compress.BlockCompress("dnapack", src, compress.BlockOptions{BlockSize: bs, Jobs: 3})
+		if err != nil {
+			t.Fatalf("n=%d: BlockCompress: %v", n, err)
+		}
+		if n > 0 && st.WorkNS <= 0 {
+			t.Fatalf("n=%d: non-positive modeled work %d", n, st.WorkNS)
+		}
+		r, err := compress.OpenBlocks(container, compress.Limits{})
+		if err != nil {
+			t.Fatalf("n=%d: OpenBlocks: %v", n, err)
+		}
+		wantBlocks := (n + bs - 1) / bs
+		if r.Codec() != "dnapack" || r.Bases() != n || r.BlockSize() != bs || r.Blocks() != wantBlocks {
+			t.Fatalf("n=%d: header (%s, %d bases, bs %d, %d blocks), want (dnapack, %d, %d, %d)",
+				n, r.Codec(), r.Bases(), r.BlockSize(), r.Blocks(), n, bs, wantBlocks)
+		}
+		got, _, err := r.Decompress()
+		if err != nil {
+			t.Fatalf("n=%d: Decompress: %v", n, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("n=%d: round trip mismatch (%d symbols out)", n, len(got))
+		}
+	}
+}
+
+func TestBlockJobsDeterminism(t *testing.T) {
+	src := synth.Profile{Length: 20000, GC: 0.45}.Generate(42)
+	var first []byte
+	for _, jobs := range []int{1, 2, 8} {
+		container, _, err := compress.BlockCompress("xm", src, compress.BlockOptions{BlockSize: 1024, Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if first == nil {
+			first = container
+		} else if !bytes.Equal(first, container) {
+			t.Fatalf("jobs=%d produced a different container than jobs=1", jobs)
+		}
+	}
+}
+
+func TestBlockSliceReadAtEquivalence(t *testing.T) {
+	const bs = 128
+	src := synth.Profile{Length: 5*bs + 31, GC: 0.5}.Generate(9)
+	container, _, err := compress.BlockCompress("dnapack", src, compress.BlockOptions{BlockSize: bs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := compress.OpenBlocks(container, compress.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := r.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range [][2]int{{0, 0}, {0, 1}, {bs - 1, 2}, {bs, bs}, {2*bs + 3, 2*bs + 5}, {len(src) - 1, 1}, {0, len(src)}} {
+		off, n := probe[0], probe[1]
+		got, _, err := r.Slice(off, n)
+		if err != nil {
+			t.Fatalf("Slice(%d, %d): %v", off, n, err)
+		}
+		if !bytes.Equal(got, full[off:off+n]) {
+			t.Fatalf("Slice(%d, %d) differs from full decode", off, n)
+		}
+	}
+	// Out-of-range slices are caller errors, not corruption.
+	if _, _, err := r.Slice(-1, 2); err == nil || errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("Slice(-1, 2): got %v, want a plain range error", err)
+	}
+	if _, _, err := r.Slice(len(src), 1); err == nil {
+		t.Fatal("Slice past the end accepted")
+	}
+
+	// io.ReaderAt semantics: exact reads, EOF-truncated reads, negative off.
+	p := make([]byte, 3*bs)
+	if n, err := r.ReadAt(p, int64(bs/2)); err != nil || n != len(p) {
+		t.Fatalf("ReadAt mid: n=%d err=%v", n, err)
+	} else if !bytes.Equal(p, full[bs/2:bs/2+len(p)]) {
+		t.Fatal("ReadAt mid differs from full decode")
+	}
+	if n, err := r.ReadAt(p, int64(len(src)-10)); err != io.EOF || n != 10 {
+		t.Fatalf("ReadAt tail: n=%d err=%v, want 10, io.EOF", n, err)
+	} else if !bytes.Equal(p[:10], full[len(src)-10:]) {
+		t.Fatal("ReadAt tail differs from full decode")
+	}
+	if _, err := r.ReadAt(p, int64(len(src))); err != io.EOF {
+		t.Fatalf("ReadAt at end: %v, want io.EOF", err)
+	}
+	if _, err := r.ReadAt(p, -1); err == nil {
+		t.Fatal("ReadAt(-1) accepted")
+	}
+}
+
+func TestSafeDecompressAnyDispatch(t *testing.T) {
+	src := blockSrc(600)
+	container, _, err := compress.BlockCompress("dnapack", src, compress.BlockOptions{BlockSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := compress.SafeDecompressAny("dnapack", container, compress.Limits{})
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("block container: %v (got %d symbols)", err, len(got))
+	}
+	if _, _, err := compress.SafeDecompressAny("xm", container, compress.Limits{}); !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("codec pin ignored on block container: %v", err)
+	}
+	c, err := compress.New("dnapack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := compress.Seal("dnapack", src, payload)
+	got, _, err = compress.SafeDecompressAny("dnapack", frame, compress.Limits{})
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("single frame: %v (got %d symbols)", err, len(got))
+	}
+}
+
+// --- hostile headers: the open path must reject a lying index before it
+// allocates anything sized by the lie ---
+
+// patchBlockHeader rewrites the (bases, blockSize, count) header fields of
+// a dnapack container and reseals the header checksum, producing a
+// well-formed header whose claims the rest of the bytes cannot back.
+func patchBlockHeader(t *testing.T, container []byte, bases, blockSize, count uint64) []byte {
+	t.Helper()
+	out := append([]byte(nil), container...)
+	n := int(out[5])
+	binary.BigEndian.PutUint64(out[6+n:], bases)
+	binary.BigEndian.PutUint64(out[14+n:], blockSize)
+	binary.BigEndian.PutUint64(out[22+n:], count)
+	binary.BigEndian.PutUint32(out[34+n:], compress.Checksum(out[:34+n]))
+	return out
+}
+
+func TestOpenBlocksHostileHeaders(t *testing.T) {
+	src := blockSrc(500)
+	container, _, err := compress.BlockCompress("dnapack", src, compress.BlockOptions{BlockSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noLimits := compress.Limits{MaxCompressed: -1, MaxOutput: -1}
+	flip := func(i int) []byte {
+		out := append([]byte(nil), container...)
+		out[i] ^= 0x40
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+		lim  compress.Limits
+		want string
+	}{
+		{"Empty", nil, noLimits, "shorter than the minimum header"},
+		{"BadMagic", flip(0), noLimits, "bad magic"},
+		{"BadVersion", flip(4), noLimits, "unsupported version"},
+		{"FlipHeaderByte", flip(10), noLimits, "header checksum mismatch"},
+		// A header claiming 2^40 symbols in 2^40 one-base blocks: with
+		// limits disabled the index-sizing check is the only guard, and the
+		// test completing at all proves no 12 TB index was allocated.
+		{"HugeCountTruncatedIndex", patchBlockHeader(t, container, 1<<40, 1, 1<<40), noLimits, "truncated block index"},
+		// The same lie under default limits dies even earlier, at MaxOutput.
+		{"HugeCountDefaultLimits", patchBlockHeader(t, container, 1<<40, 1, 1<<40), compress.Limits{}, "limit"},
+		{"BasesOverflowInt", patchBlockHeader(t, container, math.MaxUint64, 100, 5), noLimits, "overflows int"},
+		{"ZeroBlockSize", patchBlockHeader(t, container, 500, 0, 5), noLimits, "block size"},
+		{"CountMismatch", patchBlockHeader(t, container, 500, 100, 4), noLimits, "require"},
+		{"TruncatedIndex", container[:40], noLimits, "truncated"},
+		{"TruncatedMidFrame", container[:len(container)-7], noLimits, ""},
+		{"TrailingGarbage", append(append([]byte(nil), container...), 0xA5), noLimits, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := compress.OpenBlocks(tc.data, tc.lim)
+			if err == nil {
+				t.Fatalf("hostile container accepted (%d blocks)", r.Blocks())
+			}
+			if !errors.Is(err, compress.ErrCorrupt) {
+				t.Fatalf("rejection %v does not satisfy ErrCorrupt", err)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("rejection %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// Index checksum: flipping any index byte must be caught by the index
+	// CRC, not by a downstream frame parse.
+	idxStart := compress.BlockHeaderSize("dnapack")
+	bad := append([]byte(nil), container...)
+	bad[idxStart+3] ^= 0x01
+	if _, err := compress.OpenBlocks(bad, noLimits); err == nil || !strings.Contains(err.Error(), "index checksum") {
+		t.Fatalf("index tamper: %v, want index checksum mismatch", err)
+	}
+}
+
+// TestBlockCacheIndexAliasing is the regression test for the cache's
+// deep-copy contract on block results: mutating the Data or BlockIndex a
+// Get handed out must never corrupt what a later Get sees.
+func TestBlockCacheIndexAliasing(t *testing.T) {
+	src := blockSrc(700)
+	cache := compress.NewCache()
+	opts := compress.BlockOptions{BlockSize: 128}
+	r1, err := compress.BlockCompressCached(cache, "dnapack", src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.BlockIndex) != 6 {
+		t.Fatalf("got %d index entries, want 6", len(r1.BlockIndex))
+	}
+	want := append([]compress.BlockEntry(nil), r1.BlockIndex...)
+	wantData := append([]byte(nil), r1.Data...)
+
+	// Scribble over everything the first call returned.
+	for i := range r1.BlockIndex {
+		r1.BlockIndex[i] = compress.BlockEntry{Length: -1, Sum: 0xDEADBEEF}
+	}
+	for i := range r1.Data {
+		r1.Data[i] = 0xFF
+	}
+
+	r2, ok := cache.Get(compress.BlockContentKey("dnapack", opts.BlockSize, src))
+	if !ok {
+		t.Fatal("entry evaporated")
+	}
+	if !bytes.Equal(r2.Data, wantData) {
+		t.Fatal("cached container bytes were corrupted through the returned slice")
+	}
+	for i, e := range r2.BlockIndex {
+		if e != want[i] {
+			t.Fatalf("cached index entry %d corrupted: %+v, want %+v", i, e, want[i])
+		}
+	}
+	// And the warm path still restores the source.
+	r3, err := compress.BlockCompressCached(cache, "dnapack", src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := compress.SafeDecompressAny("dnapack", r3.Data, compress.Limits{})
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("warm hit does not restore the source: %v", err)
+	}
+	if hits, misses := cache.Counters(); hits != 2 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2 and 1", hits, misses)
+	}
+}
+
+func TestBlockKeyDistinctFromWholeSlice(t *testing.T) {
+	src := blockSrc(300)
+	if compress.BlockContentKey("dnapack", 100, src) == compress.ContentKey("dnapack", src) {
+		t.Fatal("block key aliases the whole-slice key")
+	}
+	if compress.BlockContentKey("dnapack", 100, src) == compress.BlockContentKey("dnapack", 200, src) {
+		t.Fatal("block size is not part of the key")
+	}
+}

@@ -86,11 +86,17 @@ func Register(name string, ctor func() Codec) {
 	registry[name] = ctor
 }
 
+// ErrUnknownCodec reports a codec name absent from the registry. Decode
+// paths that reach it with a name taken from an untrusted container re-wrap
+// it as ErrCorrupt (the name is attacker-controlled data there, not caller
+// API misuse).
+var ErrUnknownCodec = errors.New("compress: unknown codec")
+
 // New returns a fresh instance of the named codec.
 func New(name string) (Codec, error) {
 	ctor, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("compress: unknown codec %q (have %v)", name, Names())
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownCodec, name, Names())
 	}
 	return ctor(), nil
 }

@@ -1,0 +1,29 @@
+package compresstest_test
+
+import (
+	"testing"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/compress/compresstest"
+)
+
+// TestBlockSuiteAllCodecs is the acceptance gate for the block engine:
+// round-trip at block boundaries, seek-equivalence under a thousand random
+// probes, jobs-count determinism and the block-vs-whole-slice differential
+// must hold for every registered codec. The codec imports ride on
+// crosscodec_test.go, which links all nine into this binary.
+func TestBlockSuiteAllCodecs(t *testing.T) {
+	if names := compress.Names(); len(names) < 9 {
+		t.Fatalf("only %d codecs registered: %v", len(names), names)
+	}
+	compresstest.RunBlockSuiteAll(t)
+}
+
+// TestBlockCorruptionAllCodecs extends the corruption gate to multi-block
+// containers: per-block bit flips, index tampering (raw and resealed),
+// block reorder with a consistent index, cross-block truncation and
+// output-checksum tampering must all surface as compress.ErrCorrupt for
+// every registered codec, never as a panic or as wrong symbols.
+func TestBlockCorruptionAllCodecs(t *testing.T) {
+	compresstest.RunBlockCorruptionAll(t)
+}

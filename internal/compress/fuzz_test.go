@@ -155,6 +155,74 @@ func FuzzFrameOpen(f *testing.F) {
 	})
 }
 
+// FuzzBlockContainerOpen hammers the multi-block container parser and the
+// per-block decode path with arbitrary bytes: OpenBlocks must never panic
+// and must reject with ErrCorrupt only; anything it accepts must survive a
+// full Decompress and random Slice probes without panicking, failing only
+// with ErrCorrupt. Seeds are valid containers plus the mutant classes the
+// block corruption suite promoted: flipped frames, tampered indexes,
+// reordered blocks and cross-block truncations.
+func FuzzBlockContainerOpen(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(compress.BlockMagic))
+	f.Add([]byte("CXB1\x01\x07dnapack"))
+	seedSrc := make([]byte, 700)
+	for i := range seedSrc {
+		seedSrc[i] = byte((i * 3) % 4)
+	}
+	for _, opts := range []compress.BlockOptions{{BlockSize: 100}, {BlockSize: 256}, {BlockSize: 1}} {
+		if container, _, err := compress.BlockCompress("dnapack", seedSrc[:300], opts); err == nil {
+			f.Add(container)
+			// Promoted mutants: truncations at and inside frame boundaries,
+			// a frame bit flip, and a header bit flip.
+			f.Add(container[:len(container)-5])
+			f.Add(container[:compress.BlockHeaderSize("dnapack")+3])
+			flipped := append([]byte(nil), container...)
+			flipped[len(flipped)-3] ^= 0x10
+			f.Add(flipped)
+			headerFlip := append([]byte(nil), container...)
+			headerFlip[9] ^= 0x01
+			f.Add(headerFlip)
+		}
+	}
+	if container, _, err := compress.BlockCompress("xm", nil, compress.BlockOptions{BlockSize: 64}); err == nil {
+		f.Add(container)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		lim := compress.Limits{MaxCompressed: 1 << 20, MaxOutput: 1 << 20}
+		r, err := compress.OpenBlocks(data, lim)
+		if err != nil {
+			if !errors.Is(err, compress.ErrCorrupt) {
+				t.Fatalf("OpenBlocks rejection %v is not ErrCorrupt", err)
+			}
+			return
+		}
+		out, _, err := r.Decompress()
+		if err != nil {
+			if !errors.Is(err, compress.ErrCorrupt) {
+				t.Fatalf("Decompress rejection %v is not ErrCorrupt", err)
+			}
+			return
+		}
+		if len(out) != r.Bases() {
+			t.Fatalf("Decompress returned %d symbols, header says %d", len(out), r.Bases())
+		}
+		// A container that decodes clean must serve seeks consistently.
+		for _, probe := range [][2]int{{0, r.Bases()}, {r.Bases() / 2, r.Bases() - r.Bases()/2}} {
+			got, _, err := r.Slice(probe[0], probe[1])
+			if err != nil {
+				t.Fatalf("Slice(%d, %d) failed after clean Decompress: %v", probe[0], probe[1], err)
+			}
+			if !bytes.Equal(got, out[probe[0]:probe[0]+probe[1]]) {
+				t.Fatalf("Slice(%d, %d) differs from Decompress output", probe[0], probe[1])
+			}
+		}
+	})
+}
+
 // FuzzRoundTripAll compresses arbitrary (masked) symbol sequences with every
 // codec and demands exact reconstruction.
 func FuzzRoundTripAll(f *testing.F) {

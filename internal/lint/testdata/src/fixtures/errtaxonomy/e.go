@@ -16,6 +16,9 @@ func Decompress(data []byte) ([]byte, error) {
 	if data[0] == 0xff {
 		return nil, compress.Corruptf("bad magic %x", data[0]) // ok: inside the taxonomy
 	}
+	if err := useCorruptf(data); err != nil {
+		return nil, err
+	}
 	payload, err := readPayload(data[1:])
 	if err != nil {
 		return nil, fmt.Errorf("payload: %w", err) // ok: wraps the cause
@@ -30,6 +33,20 @@ func readPayload(data []byte) ([]byte, error) {
 		return nil, fmt.Errorf("truncated payload") // want `without %w or compress\.Corruptf`
 	}
 	return data, nil
+}
+
+// Corruptf mirrors the compress package's taxonomy constructor: the one
+// function allowed to fmt.Errorf a non-constant format on a decode path.
+func Corruptf(format string, args ...any) error {
+	return fmt.Errorf("corrupt: "+format, args...) // ok: the taxonomy constructor itself
+}
+
+// useCorruptf keeps the local Corruptf reachable from the Decompress root.
+func useCorruptf(data []byte) error {
+	if len(data) > 1<<30 {
+		return Corruptf("absurd length %d", len(data))
+	}
+	return nil
 }
 
 func Compress(src []byte) ([]byte, error) {
