@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz-smoke chaos corruption blocks bench-json obs-smoke fmt verify
+.PHONY: all build lint lint-fix-check test race fuzz-smoke chaos corruption blocks bench-json obs-smoke fmt verify
 
 all: build
 
@@ -11,15 +11,25 @@ build:
 	$(GO) build ./...
 
 # Static analysis: gofmt over the whole tree (examples/ included), the
-# toolchain's vet suite, and dnalint — the repo-invariant analyzers
-# (clockinject, determinism, errtaxonomy, registerinit, ctxprop, statsadd)
-# — driven
-# through `go vet -vettool` so it sees the same build graph vet does.
+# toolchain's vet suite, and dnalint — all ten repo-invariant analyzers
+# (allocguard, clockinject, copydiscipline, ctxprop, determinism,
+# errtaxonomy, goroutinebound, registerinit, statsadd, untrustedflow) —
+# driven through `go vet -vettool` so it sees the same build graph vet
+# does, then the //lint:ignore audit: every suppression must still be
+# covering a live finding.
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build -o bin/dnalint ./cmd/dnalint
 	$(GO) vet -vettool=$(CURDIR)/bin/dnalint ./...
+	./bin/dnalint -ignores ./...
+
+# Quick pre-commit pass: just the dnalint suite (standalone driver, no
+# toolchain vet) plus the suppression audit — seconds, not minutes.
+lint-fix-check:
+	$(GO) build -o bin/dnalint ./cmd/dnalint
+	./bin/dnalint ./...
+	./bin/dnalint -ignores ./...
 
 test:
 	$(GO) test ./...

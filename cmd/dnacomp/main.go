@@ -110,6 +110,7 @@ func main() {
 		ctx = obs.WithTracer(ctx, tracer)
 	}
 	if *pprofAddr != "" {
+		//lint:ignore goroutinebound debug server intentionally serves for the whole process lifetime; the kernel reclaims it at exit
 		go func() {
 			if err := obs.ServeDebug(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "dnacomp: debug server:", err)

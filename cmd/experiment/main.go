@@ -89,6 +89,7 @@ func run(cfg runConfig) error {
 	}
 	if cfg.pprofAddr != "" {
 		fmt.Fprintf(os.Stderr, "experiment: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", cfg.pprofAddr)
+		//lint:ignore goroutinebound debug server intentionally serves for the whole process lifetime; the kernel reclaims it at exit
 		go func() {
 			if err := obs.ServeDebug(cfg.pprofAddr, reg); err != nil {
 				fmt.Fprintln(os.Stderr, "experiment: debug server:", err)

@@ -317,6 +317,7 @@ func runOp(ctx context.Context, timeout time.Duration, f func() error) error {
 	opCtx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	done := make(chan error, 1)
+	//lint:ignore goroutinebound timeout abandonment is the point: the buffered channel lets a late op finish without blocking, and f holds no resources past its return
 	go func() { done <- f() }()
 	select {
 	case err := <-done:

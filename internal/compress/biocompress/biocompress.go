@@ -179,7 +179,7 @@ func (c *Codec) Decompress(data []byte) ([]byte, compress.Stats, error) {
 	lit := arith.NewSymbolModel(2)
 	dec := arith.NewDecoder(data[uint64(used+used2)+tokenLen:])
 
-	out := make([]byte, 0, nBases)
+	out := make([]byte, 0, compress.HeaderPrealloc(nBases))
 	var literals, matches, copied int64
 	for uint64(len(out)) < nBases {
 		runPlus1, err := fib.Decode(tokens)

@@ -109,14 +109,16 @@ func (c *Cache) Get(k Key) (Result, bool) {
 	if ok {
 		c.hits++
 		c.met.hits.Inc()
-		// Hand out private copies: the stored entry outlives any single
-		// caller, and a shared slice — the frame bytes or the block index —
-		// would let one caller's mutation corrupt every later hit.
-		r.copySlices()
 	} else {
 		c.misses++
 		c.met.misses.Inc()
 	}
+	// Hand out private copies: the stored entry outlives any single
+	// caller, and a shared slice — the frame bytes or the block index —
+	// would let one caller's mutation corrupt every later hit. The copy
+	// sits on the unconditional path so copydiscipline can prove every
+	// return is alias-free (a miss copies a zero Result: free).
+	r.copySlices()
 	return r, ok
 }
 

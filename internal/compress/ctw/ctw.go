@@ -257,12 +257,17 @@ func (c *Codec) Decompress(data []byte) ([]byte, compress.Stats, error) {
 	if nBases > 1<<34 {
 		return nil, compress.Stats{}, compress.Corruptf("ctw: implausible length %d", nBases)
 	}
-	trees := [2]*tree{newTree(depth, int(nBases)), newTree(depth, int(nBases))}
+	// The header's nBases is an attacker's claim: size the tree arenas and
+	// the output buffer by HeaderPrealloc and grow with the symbols
+	// actually decoded, so a hostile tiny payload cannot force the full
+	// claim's memory up front.
+	hint := compress.HeaderPrealloc(nBases)
+	trees := [2]*tree{newTree(depth, hint), newTree(depth, hint)}
 	dec := arith.NewDecoder(data[1+used:])
-	out := make([]byte, nBases)
+	out := make([]byte, 0, hint)
 	var ctx uint32
 	ctxMask := uint32(1<<depth) - 1
-	for i := range out {
+	for uint64(len(out)) < nBases {
 		var sym byte
 		for shift := 1; shift >= 0; shift-- {
 			t := trees[1-shift]
@@ -273,7 +278,7 @@ func (c *Codec) Decompress(data []byte) ([]byte, compress.Stats, error) {
 			ctx = (ctx<<1 | uint32(bit)) & ctxMask
 			sym = sym<<1 | byte(bit)
 		}
-		out[i] = sym
+		out = append(out, sym)
 	}
 	st := compress.Stats{
 		WorkNS:  c.work(2 * len(out)),

@@ -246,7 +246,7 @@ func (c *Codec) Decompress(data []byte) ([]byte, compress.Stats, error) {
 	baseProbs := arith.NewProbSlice(2)
 	dec := arith.NewDecoder(data[used:])
 
-	out := make([]byte, 0, nBases)
+	out := make([]byte, 0, compress.HeaderPrealloc(nBases))
 	var literals, matches, copied, opsReplayed int64
 	for uint64(len(out)) < nBases {
 		if dec.DecodeBit(&flag) == 0 {
@@ -261,9 +261,11 @@ func (c *Codec) Decompress(data []byte) ([]byte, compress.Stats, error) {
 		if srcPos < 0 || tlen <= 0 || uint64(len(out))+uint64(tlen) > nBases || nOps > tlen+c.cfg.Approx.MaxOps+1 {
 			return nil, compress.Stats{}, compress.Corruptf("dnacompress: descriptor out of range (src %d len %d ops %d)", srcPos, tlen, nOps)
 		}
-		ops := make([]match.EditOp, nOps)
+		// nOps is bounded only by tlen, itself bounded only by the header's
+		// nBases claim — commit memory as ops actually decode, not up front.
+		ops := make([]match.EditOp, 0, min(nOps, 4096))
 		prevOff := 0
-		for oi := range ops {
+		for oi := 0; oi < nOps; oi++ {
 			kind := decodeOpKind(dec, kindProbs)
 			off := prevOff + int(opOffM.Decode(dec))
 			prevOff = off
@@ -276,7 +278,7 @@ func (c *Codec) Decompress(data []byte) ([]byte, compress.Stats, error) {
 			if off > tlen {
 				return nil, compress.Stats{}, compress.Corruptf("dnacompress: op offset %d beyond %d", off, tlen)
 			}
-			ops[oi] = op
+			ops = append(ops, op)
 		}
 		start := len(out)
 		s := srcPos

@@ -214,7 +214,7 @@ func (c *Codec) Decompress(data []byte) ([]byte, compress.Stats, error) {
 	distM := arith.NewUintModel()
 	dec := arith.NewDecoder(data[used:])
 
-	out := make([]byte, 0, nBases)
+	out := make([]byte, 0, compress.HeaderPrealloc(nBases))
 	var literals, matches, copied int64
 	for uint64(len(out)) < nBases {
 		if dec.DecodeBit(&flag) == 0 {

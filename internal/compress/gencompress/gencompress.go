@@ -277,7 +277,7 @@ func (c *Codec) Decompress(data []byte) ([]byte, compress.Stats, error) {
 	baseProbs := arith.NewProbSlice(2)
 	dec := arith.NewDecoder(data[used:])
 
-	out := make([]byte, 0, nBases)
+	out := make([]byte, 0, compress.HeaderPrealloc(nBases))
 	var literals, matches, copied, opsReplayed int64
 	for uint64(len(out)) < nBases {
 		if dec.DecodeBit(&flag) == 0 {
@@ -292,9 +292,11 @@ func (c *Codec) Decompress(data []byte) ([]byte, compress.Stats, error) {
 		if srcPos < 0 || tlen <= 0 || uint64(len(out))+uint64(tlen) > nBases || nOps > tlen+c.cfg.Approx.MaxOps+1 {
 			return nil, compress.Stats{}, compress.Corruptf("gencompress: repeat descriptor out of range (src %d len %d ops %d)", srcPos, tlen, nOps)
 		}
-		ops := make([]match.EditOp, nOps)
+		// nOps is bounded only by tlen, itself bounded only by the header's
+		// nBases claim — commit memory as ops actually decode, not up front.
+		ops := make([]match.EditOp, 0, min(nOps, 4096))
 		prevOff := 0
-		for oi := range ops {
+		for oi := 0; oi < nOps; oi++ {
 			kind := decodeOpKind(dec, kindProbs)
 			off := prevOff + int(opOffM.Decode(dec))
 			prevOff = off
@@ -307,7 +309,7 @@ func (c *Codec) Decompress(data []byte) ([]byte, compress.Stats, error) {
 			if off > tlen {
 				return nil, compress.Stats{}, compress.Corruptf("gencompress: op offset %d beyond repeat length %d", off, tlen)
 			}
-			ops[oi] = op
+			ops = append(ops, op)
 		}
 		// Replay the edit script against the already-produced output.
 		start := len(out)

@@ -131,9 +131,17 @@ func Decompress(data []byte) ([]seq.FASTQRecord, error) {
 	if nRecs > 1<<30 {
 		return nil, compress.Corruptf("gsqz: implausible record count %d", nRecs)
 	}
-	recs := make([]seq.FASTQRecord, nRecs)
+	// nRecs and every per-record length below are header claims. Memory is
+	// committed only as stream bytes actually back the claim: the record
+	// table and id buffers grow by append (each loop turn consumes stream
+	// bytes, so growth is payload-proportional), and Seq/Qual allocation is
+	// deferred to the symbol fill loop. Before this discipline a ~1 KiB
+	// hostile payload could claim 2^30 records of 2^28 bases and demand
+	// hundreds of GB before the first Huffman symbol was read.
+	recs := make([]seq.FASTQRecord, 0, compress.HeaderPreallocN(nRecs, 64))
+	readLens := make([]int, 0, compress.HeaderPreallocN(nRecs, 8))
 	var totalBases uint64
-	for i := range recs {
+	for ri := uint64(0); ri < nRecs; ri++ {
 		idLen, err := readUvarint()
 		if err != nil {
 			return nil, compress.Corruptf("gsqz: id length: %v", err)
@@ -141,15 +149,14 @@ func Decompress(data []byte) ([]seq.FASTQRecord, error) {
 		if idLen > 1<<20 {
 			return nil, compress.Corruptf("gsqz: implausible id length %d", idLen)
 		}
-		id := make([]byte, idLen)
-		for j := range id {
+		id := make([]byte, 0, compress.HeaderPrealloc(idLen))
+		for j := uint64(0); j < idLen; j++ {
 			b, err := r.ReadByte()
 			if err != nil {
 				return nil, compress.Corruptf("gsqz: id bytes: %v", err)
 			}
-			id[j] = b
+			id = append(id, b)
 		}
-		recs[i].ID = string(id)
 		readLen, err := readUvarint()
 		if err != nil {
 			return nil, compress.Corruptf("gsqz: read length: %v", err)
@@ -157,8 +164,8 @@ func Decompress(data []byte) ([]seq.FASTQRecord, error) {
 		if readLen > 1<<28 {
 			return nil, compress.Corruptf("gsqz: implausible read length %d", readLen)
 		}
-		recs[i].Seq = make([]byte, readLen)
-		recs[i].Qual = make([]byte, readLen)
+		recs = append(recs, seq.FASTQRecord{ID: string(id)})
+		readLens = append(readLens, int(readLen))
 		totalBases += readLen
 	}
 	nClasses, err := readUvarint()
@@ -199,7 +206,10 @@ func Decompress(data []byte) ([]seq.FASTQRecord, error) {
 	}
 	dec := huffman.NewDecoder(table)
 	for i := range recs {
-		for j := range recs[i].Seq {
+		n := readLens[i]
+		sq := make([]byte, 0, compress.HeaderPrealloc(uint64(n)))
+		ql := make([]byte, 0, compress.HeaderPrealloc(uint64(n)))
+		for j := 0; j < n; j++ {
 			joint, err := dec.Decode(r)
 			if err != nil {
 				return nil, compress.Corruptf("gsqz: payload: %v", err)
@@ -208,9 +218,10 @@ func Decompress(data []byte) ([]seq.FASTQRecord, error) {
 			if cls >= len(classToQual) {
 				return nil, compress.Corruptf("gsqz: joint symbol references class %d of %d", cls, len(classToQual))
 			}
-			recs[i].Seq[j] = seq.Base(joint & 3)
-			recs[i].Qual[j] = classToQual[cls]
+			sq = append(sq, seq.Base(joint&3))
+			ql = append(ql, classToQual[cls])
 		}
+		recs[i].Seq, recs[i].Qual = sq, ql
 	}
 	return recs, nil
 }

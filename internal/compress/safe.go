@@ -13,7 +13,43 @@ const (
 	DefaultMaxCompressed = 1 << 30
 	// DefaultMaxOutput caps the restored symbol count (1 Gbase).
 	DefaultMaxOutput = 1 << 30
+
+	// MaxHeaderPrealloc caps what a decoder may allocate up front on the
+	// strength of a decoded size claim alone (1 MiB). A header field is an
+	// attacker's assertion; until the payload has produced that many
+	// symbols, memory is committed only up to this bound and grown by
+	// append — so a hostile 20-byte frame claiming 2^34 bases costs the
+	// receiver 1 MiB, not 16 GiB, before the truncated stream errors out.
+	MaxHeaderPrealloc = 1 << 20
 )
+
+// HeaderPrealloc clamps a decoded size claim to the preallocation cap.
+// Decoders use the result as the capacity hint for an append-grown output
+// buffer: `out := make([]byte, 0, HeaderPrealloc(nBases))`. Legitimate
+// large outputs still amortize via append's geometric growth; hostile
+// claims never commit more than MaxHeaderPrealloc ahead of the bytes that
+// justify it. dnalint's allocguard analyzer recognizes this helper as a
+// sanctioned bound.
+func HeaderPrealloc(claim uint64) int {
+	if claim > MaxHeaderPrealloc {
+		return MaxHeaderPrealloc
+	}
+	return int(claim)
+}
+
+// HeaderPreallocN is HeaderPrealloc for slices of elemBytes-sized
+// elements: the returned element count keeps the up-front commitment under
+// MaxHeaderPrealloc bytes, not MaxHeaderPrealloc elements.
+func HeaderPreallocN(claim uint64, elemBytes int) int {
+	if elemBytes < 1 {
+		elemBytes = 1
+	}
+	limit := uint64(MaxHeaderPrealloc / elemBytes)
+	if claim > limit {
+		return int(limit)
+	}
+	return int(claim)
+}
 
 // Limits bounds what SafeDecompress will accept from an untrusted frame.
 // The zero value applies the package defaults; a negative field means

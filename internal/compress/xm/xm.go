@@ -338,9 +338,11 @@ func (c *Codec) Decompress(data []byte) ([]byte, compress.Stats, error) {
 	if nBases > 1<<34 {
 		return nil, compress.Stats{}, compress.Corruptf("xm: implausible length %d", nBases)
 	}
-	p := newPanel(c.cfg, int(nBases))
+	// The history buffer's size hint comes from the header claim — clamp
+	// it; the panel grows with symbols actually decoded.
+	p := newPanel(c.cfg, compress.HeaderPrealloc(nBases))
 	dec := arith.NewDecoder(data[used:])
-	out := make([]byte, 0, nBases)
+	out := make([]byte, 0, compress.HeaderPrealloc(nBases))
 	var dist [4]float64
 	for uint64(len(out)) < nBases {
 		p.mix(&dist)

@@ -3,11 +3,15 @@ package lint
 // All returns the full dnalint suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AllocGuard,
 		ClockInject,
+		CopyDiscipline,
 		CtxProp,
 		Determinism,
 		ErrTaxonomy,
+		GoroutineBound,
 		RegisterInit,
 		StatsAdd,
+		UntrustedFlow,
 	}
 }

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CopyDiscipline guards the deep-copy convention at exported API
+// boundaries. The Cache.Get/copySlices bug class (PRs 3/6): a method
+// returns a struct fished out of an internal map, the caller mutates its
+// slice fields, and the cache is silently corrupted — or, in the store
+// direction, a caller's slice is stored as-is and the store's contents
+// mutate when the caller reuses the buffer. Exported methods must hand
+// out and take in copies of anything slice-bearing.
+//
+// The analysis runs in two directions per exported method:
+//
+//   - alias-out: values derived from receiver state (field reads, map
+//     lookups on receiver fields) must not be returned while still
+//     aliasing that state;
+//   - alias-in: parameter-derived values must not be assigned into
+//     receiver state.
+//
+// `append([]T(nil), s...)` breaks the alias (append taint follows only
+// the first argument here), and a method call on the value — the
+// r.copySlices() idiom — is trusted to have replaced the aliased memory.
+var CopyDiscipline = &Analyzer{
+	Name: "copydiscipline",
+	Doc: `flags exported methods that return memory aliasing receiver state
+(field slices, map entries holding slices) or that store caller-provided
+slice-bearing values into receiver state without a deep copy. Break the
+alias with append([]T(nil), s...) or a copySlices-style helper before the
+value crosses the API boundary. Scope: internal/compress, internal/cloud,
+internal/experiment, internal/stats, internal/dtree.`,
+	Scope: scopeUnder("internal/compress", "internal/cloud", "internal/experiment", "internal/stats", "internal/dtree"),
+	Run:   runCopyDiscipline,
+}
+
+func runCopyDiscipline(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := receiverObject(pass, fd)
+			if recv == nil {
+				continue
+			}
+			checkAliasOut(pass, fd, recv)
+			checkAliasIn(pass, fd, recv)
+		}
+	}
+}
+
+// receiverObject resolves the method's receiver variable.
+func receiverObject(pass *Pass, fd *ast.FuncDecl) ast.Expr {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return fd.Recv.List[0].Names[0]
+}
+
+// aliasFlowConfig is the shared alias-tracking configuration: calls return
+// fresh memory (PropagateCalls off), append aliases only its first
+// argument, and copy-in-place calls kill.
+func aliasFlowConfig(pass *Pass) FlowConfig {
+	return FlowConfig{
+		Info:            pass.Info,
+		AppendAliasOnly: true,
+		KillOnCall:      true,
+		TaintableType:   containsSliceType,
+	}
+}
+
+// checkAliasOut flags returns of receiver-state-aliasing values.
+func checkAliasOut(pass *Pass, fd *ast.FuncDecl, recv ast.Expr) {
+	recvObj := identObject(pass.Info, recv.(*ast.Ident))
+	if recvObj == nil {
+		return
+	}
+	cfg := aliasFlowConfig(pass)
+	cfg.SourceExpr = func(e ast.Expr) bool {
+		// A selector (or map/slice index of a selector) rooted at the
+		// receiver whose type carries a slice is live internal state.
+		switch e := e.(type) {
+		case *ast.SelectorExpr:
+			return rootObject(pass.Info, e) == recvObj && hasAliasType(pass, e)
+		case *ast.IndexExpr:
+			return rootObject(pass.Info, e.X) == recvObj && hasAliasType(pass, e)
+		}
+		return false
+	}
+	cfg.At = func(n ast.Node, tainted func(e ast.Expr) bool) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		for _, res := range ret.Results {
+			if hasAliasType(pass, res) && tainted(res) {
+				pass.Reportf(ret.Pos(), "exported method %s returns memory aliasing receiver state; callers can mutate internal slices — return a copy (append([]T(nil), s...) or a copySlices-style helper)", fd.Name.Name)
+				break
+			}
+		}
+	}
+	RunTaintFlow(fd.Body, cfg)
+}
+
+// checkAliasIn flags stores of parameter-aliasing values into receiver state.
+func checkAliasIn(pass *Pass, fd *ast.FuncDecl, recv ast.Expr) {
+	recvObj := identObject(pass.Info, recv.(*ast.Ident))
+	if recvObj == nil {
+		return
+	}
+	cfg := aliasFlowConfig(pass)
+	cfg.Seed = func(st State) {
+		if fd.Type.Params == nil {
+			return
+		}
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := pass.Info.Defs[name]
+				if obj != nil && containsSliceType(obj.Type()) {
+					st[obj] = true
+				}
+			}
+		}
+	}
+	cfg.At = func(n ast.Node, tainted func(e ast.Expr) bool) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if rootObject(pass.Info, lhs) != recvObj {
+				continue
+			}
+			// Only writes THROUGH the receiver (field, map entry) store
+			// into shared state; rebinding the receiver variable itself
+			// (value receiver) is local.
+			if _, isIdent := unparen(lhs).(*ast.Ident); isIdent {
+				continue
+			}
+			if hasAliasType(pass, as.Rhs[i]) && tainted(as.Rhs[i]) {
+				pass.Reportf(as.Pos(), "exported method %s stores a caller-provided slice-bearing value into receiver state without copying; the caller's later writes mutate internal state — deep-copy first", fd.Name.Name)
+				break
+			}
+		}
+	}
+	RunTaintFlow(fd.Body, cfg)
+}
+
+// hasAliasType reports whether e's static type carries aliasable memory.
+func hasAliasType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return containsSliceType(tv.Type)
+}

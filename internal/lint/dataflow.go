@@ -1,0 +1,655 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the suite's dataflow layer: a small flow-sensitive,
+// intraprocedural taint interpreter over the type-checked AST. The
+// per-statement analyzers (determinism, statsadd, ...) ask "does this call
+// site have the right shape"; the dataflow analyzers (untrustedflow,
+// allocguard, copydiscipline) ask "can a value from THERE reach HERE" —
+// which survives refactors that merely move the value through locals,
+// appends, slices and branches.
+//
+// The interpreter is an abstract execution of one function body. The
+// abstract state maps variables (types.Object) to a single taint bit.
+// Statements are walked in source order; branches fork the state and merge
+// by union; loops iterate their bodies to a fixpoint (the merge is
+// monotone, so it terminates); assignment of a clean value kills the
+// target's taint (the reassignment-kill the per-statement checkers cannot
+// express). Function literals are interpreted inline at their occurrence —
+// the worker-pool closures this repository builds its fan-outs from write
+// into captured slices, and those writes must propagate.
+//
+// The design trades soundness for usefulness in the usual linter
+// direction: weak updates through slices/fields never kill, guard
+// comparisons kill even when the comparison does not dominate every path,
+// and calls are not followed across function boundaries. The fixtures
+// under testdata/src/fixtures pin the behavior analyzers rely on.
+
+// State is the abstract store of one taint interpretation: the set of
+// variables currently holding tainted values.
+type State map[types.Object]bool
+
+func (s State) clone() State {
+	c := make(State, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// mergeFrom unions o into s, reporting whether s grew — the loop-fixpoint
+// termination test.
+func (s State) mergeFrom(o State) bool {
+	grew := false
+	for k := range o {
+		if !s[k] {
+			s[k] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+// setTo replaces s's contents with o, in place (callers share the map).
+func (s State) setTo(o State) {
+	for k := range s {
+		if !o[k] {
+			delete(s, k)
+		}
+	}
+	for k := range o {
+		s[k] = true
+	}
+}
+
+// FlowConfig parameterizes one taint interpretation.
+type FlowConfig struct {
+	Info *types.Info
+
+	// SourceCall reports calls whose results are tainted (untrusted reads,
+	// decoded header fields).
+	SourceCall func(*ast.CallExpr) bool
+	// SourceExpr reports non-call expressions that originate taint — e.g. a
+	// selector on the receiver for aliasing analyses. Checked on every
+	// identifier, selector and index expression.
+	SourceExpr func(ast.Expr) bool
+	// Sanitizer reports calls whose results are clean regardless of
+	// arguments (SafeDecompress, HeaderPrealloc, ...).
+	Sanitizer func(*ast.CallExpr) bool
+	// Seed installs the initial taint (e.g. parameters) before the body runs.
+	Seed func(State)
+
+	// PropagateCalls taints the results of unclassified calls when any
+	// argument (or the method receiver) is tainted. Content analyses
+	// (untrustedflow) want this on; alias analyses (copydiscipline) want it
+	// off — a callee's result is presumed fresh memory.
+	PropagateCalls bool
+	// AppendAliasOnly makes append's result carry only the first argument's
+	// taint (append([]T(nil), src...) is the sanctioned copy idiom and
+	// shares no memory with src). Off, append propagates any argument —
+	// the content view.
+	AppendAliasOnly bool
+	// GuardComparisons kills the taint of every variable that appears in an
+	// order comparison (<, <=, >, >=) — the "dominating bound check"
+	// convention: a value the code compared against a limit is treated as
+	// bounded from there on.
+	GuardComparisons bool
+	// KillOnCall clears a variable's taint when it is the receiver of a
+	// method call or passed by address — the copy-in-place idiom
+	// (r.copySlices(), normalize(&rows)).
+	KillOnCall bool
+	// TaintableType, when set, restricts taint to expressions whose static
+	// type satisfies it. Alias analyses set this to containsSliceType: a
+	// float64 read out of a tainted struct is a copy of a number and
+	// cannot alias the struct's memory.
+	TaintableType func(types.Type) bool
+
+	// At is invoked for every statement and expression node in abstract
+	// execution order with a query into the state at that point. Analyzers
+	// check their sinks here.
+	At func(n ast.Node, tainted func(ast.Expr) bool)
+}
+
+// maxLoopIterations bounds the loop fixpoint; union-merging makes the
+// state grow monotonically, so real convergence is fast and the bound is a
+// backstop.
+const maxLoopIterations = 8
+
+// RunTaintFlow interprets one function body under cfg.
+func RunTaintFlow(body *ast.BlockStmt, cfg FlowConfig) {
+	if body == nil {
+		return
+	}
+	tf := &taintFlow{cfg: cfg}
+	st := State{}
+	if cfg.Seed != nil {
+		cfg.Seed(st)
+	}
+	tf.block(body, st)
+}
+
+type taintFlow struct {
+	cfg FlowConfig
+}
+
+func (tf *taintFlow) at(n ast.Node, st State) {
+	if tf.cfg.At != nil {
+		tf.cfg.At(n, func(e ast.Expr) bool { return tf.tainted(st, e) })
+	}
+}
+
+func (tf *taintFlow) block(b *ast.BlockStmt, st State) {
+	for _, s := range b.List {
+		tf.stmt(s, st)
+	}
+}
+
+func (tf *taintFlow) stmt(s ast.Stmt, st State) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		tf.block(s, st)
+	case *ast.ExprStmt:
+		tf.scan(s.X, st)
+	case *ast.AssignStmt:
+		tf.at(s, st)
+		for _, r := range s.Rhs {
+			tf.scan(r, st)
+		}
+		for _, l := range s.Lhs {
+			tf.scan(l, st)
+		}
+		tf.assign(s, st)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				tf.scan(v, st)
+			}
+			tf.assignSpec(vs, st)
+		}
+	case *ast.ReturnStmt:
+		tf.at(s, st)
+		for _, r := range s.Results {
+			tf.scan(r, st)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			tf.stmt(s.Init, st)
+		}
+		tf.scan(s.Cond, st)
+		if tf.cfg.GuardComparisons {
+			tf.applyGuards(s.Cond, st)
+		}
+		thenSt := st.clone()
+		tf.block(s.Body, thenSt)
+		if s.Else != nil {
+			elseSt := st.clone()
+			tf.stmt(s.Else, elseSt)
+			thenSt.mergeFrom(elseSt)
+			st.setTo(thenSt)
+		} else {
+			st.mergeFrom(thenSt)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			tf.stmt(s.Init, st)
+		}
+		for i := 0; i < maxLoopIterations; i++ {
+			if s.Cond != nil {
+				tf.scan(s.Cond, st)
+				if tf.cfg.GuardComparisons {
+					tf.applyGuards(s.Cond, st)
+				}
+			}
+			body := st.clone()
+			tf.block(s.Body, body)
+			if s.Post != nil {
+				tf.stmt(s.Post, body)
+			}
+			if !st.mergeFrom(body) {
+				break
+			}
+		}
+	case *ast.RangeStmt:
+		tf.scan(s.X, st)
+		for i := 0; i < maxLoopIterations; i++ {
+			t := tf.tainted(st, s.X)
+			if s.Key != nil {
+				tf.setObj(s.Key, false, st) // keys are indices, not content
+			}
+			if s.Value != nil {
+				tf.setObj(s.Value, t, st)
+			}
+			body := st.clone()
+			tf.block(s.Body, body)
+			if !st.mergeFrom(body) {
+				break
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			tf.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			tf.scan(s.Tag, st)
+		}
+		tf.branches(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			tf.stmt(s.Init, st)
+		}
+		tf.stmt(s.Assign, st)
+		tf.branches(s.Body, st)
+	case *ast.SelectStmt:
+		tf.branches(s.Body, st)
+	case *ast.GoStmt:
+		tf.at(s, st)
+		tf.scan(s.Call, st)
+	case *ast.DeferStmt:
+		tf.scan(s.Call, st)
+	case *ast.SendStmt:
+		tf.scan(s.Chan, st)
+		tf.scan(s.Value, st)
+	case *ast.IncDecStmt:
+		tf.scan(s.X, st)
+	case *ast.LabeledStmt:
+		tf.stmt(s.Stmt, st)
+	}
+}
+
+// branches interprets each clause of a switch/select body from a copy of
+// the incoming state and merges the exits.
+func (tf *taintFlow) branches(body *ast.BlockStmt, st State) {
+	merged := st.clone()
+	for _, clause := range body.List {
+		sub := st.clone()
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				tf.scan(e, sub)
+			}
+			for _, s := range c.Body {
+				tf.stmt(s, sub)
+			}
+		case *ast.CommClause:
+			if c.Comm != nil {
+				tf.stmt(c.Comm, sub)
+			}
+			for _, s := range c.Body {
+				tf.stmt(s, sub)
+			}
+		}
+		merged.mergeFrom(sub)
+	}
+	st.setTo(merged)
+}
+
+// scan walks one expression in evaluation context: it fires the At
+// callback for every node, interprets function-literal bodies inline, and
+// applies the KillOnCall convention.
+func (tf *taintFlow) scan(e ast.Expr, st State) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			tf.at(n, st)
+			tf.block(lit.Body, st)
+			return false
+		}
+		tf.at(n, st)
+		if call, ok := n.(*ast.CallExpr); ok && tf.cfg.KillOnCall {
+			tf.killOnCall(call, st)
+		}
+		return true
+	})
+}
+
+// killOnCall clears the taint of a method call's receiver variable and of
+// any variable passed by address — the callee is presumed to have replaced
+// the aliased memory with private copies.
+func (tf *taintFlow) killOnCall(call *ast.CallExpr, st State) {
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := tf.cfg.Info.Types[call.Fun]; !ok || !tv.IsType() { // not a conversion
+			if obj := rootObject(tf.cfg.Info, sel.X); obj != nil {
+				delete(st, obj)
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if u, ok := unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if obj := rootObject(tf.cfg.Info, u.X); obj != nil {
+				delete(st, obj)
+			}
+		}
+	}
+}
+
+// assign applies an assignment's transfer function.
+func (tf *taintFlow) assign(s *ast.AssignStmt, st State) {
+	if len(s.Lhs) == len(s.Rhs) {
+		// Evaluate all RHS taints against the pre-state first, so swaps
+		// (a, b = b, a) transfer correctly.
+		taints := make([]bool, len(s.Rhs))
+		for i, r := range s.Rhs {
+			taints[i] = tf.tainted(st, r)
+		}
+		for i, l := range s.Lhs {
+			t := taints[i]
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				t = t || tf.tainted(st, l) // op-assign accumulates
+			}
+			tf.setObj(l, t, st)
+		}
+		return
+	}
+	// Tuple assignment from one multi-result expression: every target
+	// carries the expression's taint.
+	if len(s.Rhs) == 1 {
+		t := tf.tainted(st, s.Rhs[0])
+		for _, l := range s.Lhs {
+			tf.setObj(l, t, st)
+		}
+	}
+}
+
+func (tf *taintFlow) assignSpec(vs *ast.ValueSpec, st State) {
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		t := tf.tainted(st, vs.Values[0])
+		for _, name := range vs.Names {
+			tf.setObj(name, t, st)
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		t := false
+		if i < len(vs.Values) {
+			t = tf.tainted(st, vs.Values[i])
+		}
+		tf.setObj(name, t, st)
+	}
+}
+
+// setObj writes taint through an assignment target. A direct identifier
+// gets a strong update (clean RHS kills); writes through an index, field
+// or dereference are weak — they can only add taint to the root variable,
+// since other elements keep their old contents.
+func (tf *taintFlow) setObj(lhs ast.Expr, t bool, st State) {
+	switch lhs := unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := identObject(tf.cfg.Info, lhs)
+		if obj == nil {
+			return
+		}
+		if t {
+			st[obj] = true
+		} else {
+			delete(st, obj)
+		}
+	default:
+		if !t {
+			return
+		}
+		if obj := rootObject(tf.cfg.Info, lhs); obj != nil {
+			st[obj] = true
+		}
+	}
+}
+
+// tainted evaluates an expression's taint in st.
+func (tf *taintFlow) tainted(st State, e ast.Expr) bool {
+	return tf.taintedRaw(st, e) && tf.typeOK(e)
+}
+
+// typeOK applies the TaintableType gate to e's static type.
+func (tf *taintFlow) typeOK(e ast.Expr) bool {
+	if tf.cfg.TaintableType == nil {
+		return true
+	}
+	var t types.Type
+	if id, ok := unparen(e).(*ast.Ident); ok {
+		if obj := identObject(tf.cfg.Info, id); obj != nil {
+			t = obj.Type()
+		}
+	} else if tv, ok := tf.cfg.Info.Types[unparen(e)]; ok {
+		t = tv.Type
+	}
+	if t == nil {
+		return true // unknown type: stay conservative, keep the taint
+	}
+	// A comma-ok or multi-result expression (r, ok := c.m[key]) carries a
+	// tuple type; the taint belongs to whichever component can hold it.
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if tf.cfg.TaintableType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return tf.cfg.TaintableType(t)
+}
+
+func (tf *taintFlow) taintedRaw(st State, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	e = unparen(e)
+	if tf.cfg.SourceExpr != nil {
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+			if tf.cfg.SourceExpr(e) {
+				return true
+			}
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := identObject(tf.cfg.Info, e)
+		return obj != nil && st[obj]
+	case *ast.SelectorExpr:
+		if sel, ok := tf.cfg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return tf.tainted(st, e.X) // a field of a tainted value is tainted
+		}
+		// Qualified identifier (pkg.Var) or method value: not tracked.
+		return false
+	case *ast.IndexExpr:
+		return tf.tainted(st, e.X)
+	case *ast.IndexListExpr:
+		return tf.tainted(st, e.X)
+	case *ast.SliceExpr:
+		return tf.tainted(st, e.X)
+	case *ast.StarExpr:
+		return tf.tainted(st, e.X)
+	case *ast.UnaryExpr:
+		return tf.tainted(st, e.X)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ, token.LAND, token.LOR:
+			return false // booleans carry no content
+		}
+		return tf.tainted(st, e.X) || tf.tainted(st, e.Y)
+	case *ast.CallExpr:
+		return tf.callTainted(st, e)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if tf.tainted(st, el) {
+				return true
+			}
+		}
+		return false
+	case *ast.TypeAssertExpr:
+		return tf.tainted(st, e.X)
+	}
+	return false
+}
+
+func (tf *taintFlow) callTainted(st State, call *ast.CallExpr) bool {
+	// Conversions pass their operand's taint through: int(n) is still n.
+	if tv, ok := tf.cfg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return tf.tainted(st, call.Args[0])
+		}
+		return false
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := tf.cfg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if tf.cfg.AppendAliasOnly {
+					// append's result may alias only its first argument;
+					// append([]T(nil), src...) is the sanctioned copy.
+					return len(call.Args) > 0 && tf.tainted(st, call.Args[0])
+				}
+				for _, a := range call.Args {
+					if tf.tainted(st, a) {
+						return true
+					}
+				}
+				return false
+			case "min":
+				// min(claim, cap) is a bound: the result is no larger than
+				// the clean operand.
+				return false
+			case "max":
+				for _, a := range call.Args {
+					if tf.tainted(st, a) {
+						return true
+					}
+				}
+				return false
+			case "len", "cap", "make", "new", "copy":
+				// len/cap measure what is actually present; make/new return
+				// fresh memory.
+				return false
+			}
+			return false
+		}
+	}
+	if tf.cfg.Sanitizer != nil && tf.cfg.Sanitizer(call) {
+		return false
+	}
+	if tf.cfg.SourceCall != nil && tf.cfg.SourceCall(call) {
+		return true
+	}
+	if tf.cfg.PropagateCalls {
+		for _, a := range call.Args {
+			if tf.tainted(st, a) {
+				return true
+			}
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return tf.tainted(st, sel.X)
+		}
+	}
+	return false
+}
+
+// applyGuards kills the taint of every variable referenced inside an
+// order comparison in cond — the bound-check convention.
+func (tf *taintFlow) applyGuards(cond ast.Expr, st State) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				ast.Inspect(side, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := identObject(tf.cfg.Info, id); obj != nil {
+							delete(st, obj)
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+// identObject resolves an identifier to its variable object.
+func identObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// rootObject walks an lvalue-shaped expression (s.f[i].g, *p, ...) down to
+// the variable at its root.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return identObject(info, x)
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				e = x.X
+				continue
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// containsSliceType reports whether values of t carry aliasable mutable
+// memory: a slice or map anywhere in the value's own layout. Pointers do
+// not count — handing out a pointer is an explicit sharing decision, not
+// the accidental aliasing this check hunts.
+func containsSliceType(t types.Type) bool {
+	return containsSlice(t, map[types.Type]bool{})
+}
+
+func containsSlice(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	case *types.Array:
+		return containsSlice(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsSlice(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

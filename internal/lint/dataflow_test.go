@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// runSnippet type-checks a source snippet, runs the taint interpreter over
+// the function named f, and returns the taint observed at each sink(x)
+// call in flow order. src() calls are sources; clean(...) is a sanitizer.
+func runSnippet(t *testing.T, source string, mutate func(*FlowConfig)) []bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "snippet.go", source, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("snippet", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fn = fd
+		}
+	}
+	if fn == nil {
+		t.Fatal("snippet has no func f")
+	}
+
+	var observed []bool
+	isNamedCall := func(call *ast.CallExpr, name string) bool {
+		id, ok := unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == name
+	}
+	cfg := FlowConfig{
+		Info:             info,
+		PropagateCalls:   true,
+		GuardComparisons: true,
+		SourceCall:       func(call *ast.CallExpr) bool { return isNamedCall(call, "src") },
+		Sanitizer:        func(call *ast.CallExpr) bool { return isNamedCall(call, "clean") },
+		At: func(n ast.Node, tainted func(ast.Expr) bool) {
+			if call, ok := n.(*ast.CallExpr); ok && isNamedCall(call, "sink") && len(call.Args) > 0 {
+				observed = append(observed, tainted(call.Args[0]))
+			}
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	RunTaintFlow(fn.Body, cfg)
+	return observed
+}
+
+// The declarations every snippet shares.
+const snippetPrelude = `package snippet
+
+func src() []byte            { return nil }
+func clean(b []byte) []byte  { return b }
+func sink(b []byte)          {}
+func fresh() []byte          { return nil }
+
+type box struct{ data []byte }
+
+func (b *box) scrub() {}
+`
+
+func TestTaintFlowTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		body   string
+		mutate func(*FlowConfig)
+		want   []bool
+	}{
+		{
+			name: "straight line propagation",
+			body: `func f() { x := src(); y := x; sink(y) }`,
+			want: []bool{true},
+		},
+		{
+			name: "sanitizer clears",
+			body: `func f() { x := src(); x = clean(x); sink(x) }`,
+			want: []bool{false},
+		},
+		{
+			name: "reassignment kills",
+			body: `func f() { x := src(); sink(x); x = fresh(); sink(x) }`,
+			want: []bool{true, false},
+		},
+		{
+			name: "branch taint survives the merge",
+			body: `func f(c bool) { x := fresh(); if c { x = src() }; sink(x) }`,
+			want: []bool{true},
+		},
+		{
+			name: "kill on one branch does not clear the other",
+			body: `func f(c bool) { x := src(); if c { x = fresh() }; sink(x) }`,
+			want: []bool{true},
+		},
+		{
+			name: "kill on both branches clears",
+			body: `func f(c bool) { x := src(); if c { x = fresh() } else { x = clean(x) }; sink(x) }`,
+			want: []bool{false},
+		},
+		{
+			name: "loop carries taint into the next iteration",
+			body: `func f() { var a []byte; for i := 0; i < 2; i++ { sink(a); a = append(a, src()...) } }`,
+			// First interpretation sees a clean, the fixpoint iteration sees
+			// the taint flowing around the back edge, then the state is stable.
+			want: []bool{false, true},
+		},
+		{
+			name: "range value inherits the range operand's taint",
+			body: `func f() { xs := [][]byte{src()}; for _, v := range xs { sink(v) } }`,
+			want: []bool{true},
+		},
+		{
+			name: "swap transfers taint with pre-state rhs",
+			body: `func f() { a, b := src(), fresh(); a, b = b, a; sink(a); sink(b) }`,
+			want: []bool{false, true},
+		},
+		{
+			name: "tuple assignment taints all targets",
+			body: `func f() { m := map[int][]byte{0: src()}; v, ok := m[0]; _ = ok; sink(v) }`,
+			want: []bool{true},
+		},
+		{
+			name: "guard comparison kills",
+			body: `func f() { x := src(); if len(x) > 8 { return }; sink(x) }`,
+			// len(x) > 8 names x inside an order comparison: bounded.
+			want: []bool{false},
+		},
+		{
+			name: "slice and index stay tainted",
+			body: `func f() { x := src(); sink(x[1:]); y := [][]byte{x}; sink(y[0]) }`,
+			want: []bool{true, true},
+		},
+		{
+			name: "weak update through an index taints the root",
+			body: `func f() { xs := make([][]byte, 1); xs[0] = src(); sink(xs[0]) }`,
+			want: []bool{true},
+		},
+		{
+			name: "function literal interpreted inline",
+			body: `func f() { var x []byte; g := func() { x = src() }; g(); sink(x) }`,
+			// The literal's body runs where it appears; the capture write is
+			// visible (conservatively, regardless of whether g is invoked).
+			want: []bool{true},
+		},
+		{
+			name: "append any-arg mode taints the result",
+			body: `func f() { a := fresh(); a = append(a, src()...); sink(a) }`,
+			want: []bool{true},
+		},
+		{
+			name: "append alias-only mode follows just the first arg",
+			body: `func f() { a := append([]byte(nil), src()...); sink(a) }`,
+			mutate: func(cfg *FlowConfig) {
+				cfg.AppendAliasOnly = true
+			},
+			want: []bool{false},
+		},
+		{
+			name: "kill on method call (copy-in-place idiom)",
+			body: `func f() { b := box{data: src()}; sink(b.data); b.scrub(); sink(b.data) }`,
+			mutate: func(cfg *FlowConfig) {
+				cfg.KillOnCall = true
+			},
+			want: []bool{true, false},
+		},
+		{
+			name: "min builtin is a bound",
+			body: `func f() { x := src(); n := min(len(x), 8); _ = n; sink(x[:0]) }`,
+			// x itself was guarded by nothing, but this pins that min/len
+			// results never become tainted (the capped-prealloc idiom).
+			want: []bool{true},
+		},
+		{
+			name: "switch branches merge by union",
+			body: `func f(k int) { x := fresh(); switch k { case 0: x = src(); case 1: x = fresh() }; sink(x) }`,
+			want: []bool{true},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runSnippet(t, snippetPrelude+tc.body+"\n", tc.mutate)
+			if len(got) != len(tc.want) {
+				t.Fatalf("observed %d sink visits %v, want %d %v", len(got), got, len(tc.want), tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("sink visit %d: tainted=%v, want %v (all: %v)", i, got[i], tc.want[i], tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestIgnoreUsageTracking pins the audit contract: a directive that
+// suppressed a finding reports Used, one that matched nothing does not,
+// and a reasonless directive is Malformed and inert.
+func TestIgnoreUsageTracking(t *testing.T) {
+	pkg, err := fixtureLoader(t).Load("fixtures/ignore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the analyzer directly (as runForTest does) so the fixture path
+	// doesn't have to satisfy Determinism's module scope, but keep the
+	// ignore index so used-marking is observable.
+	var diags []Diagnostic
+	idx := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	Determinism.Run(&Pass{
+		Analyzer: Determinism,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		diags:    &diags,
+		ignores:  idx,
+	})
+	ignores := idx.list
+	if len(ignores) != 5 {
+		t.Fatalf("got %d directives, want 5: %v", len(ignores), ignores)
+	}
+	byReason := map[string]*IgnoreDirective{}
+	for _, d := range ignores {
+		byReason[d.Reason] = d
+	}
+	for _, reason := range []string{"trailing-comment placement", "directive-above placement", "blanket suppression", "comma-separated analyzer list"} {
+		d := byReason[reason]
+		if d == nil {
+			t.Fatalf("directive with reason %q not found", reason)
+		}
+		if !d.Used() {
+			t.Errorf("directive %q should be marked used", reason)
+		}
+	}
+	if d := byReason[""]; d == nil || !d.Malformed() || d.Used() {
+		t.Errorf("reasonless directive should be malformed and unused, got %+v", d)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -11,32 +12,74 @@ import (
 // matched by the go-style patterns (default "./...") and runs the full
 // analyzer suite. Patterns are resolved relative to dir.
 func LintModule(dir string, patterns []string) ([]Diagnostic, error) {
-	moduleDir, err := FindModuleRoot(dir)
+	res, err := LintModuleAudit(dir, patterns)
 	if err != nil {
 		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// AuditResult is a full-suite run's findings plus every //lint:ignore
+// directive seen, with usage marks — LintModuleAudit's output.
+type AuditResult struct {
+	Diags   []Diagnostic
+	Ignores []*IgnoreDirective
+}
+
+// Stale returns the directives that suppressed nothing: either malformed
+// (missing the mandatory reason) or covering a line where no named
+// analyzer reports anymore. A stale directive is a lie about the code
+// below it — `dnalint -ignores` fails on them.
+func (r AuditResult) Stale() []*IgnoreDirective {
+	var out []*IgnoreDirective
+	for _, d := range r.Ignores {
+		if !d.Used() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// LintModuleAudit is LintModule keeping the suppression directives. The
+// directives are sorted by position; their Used marks are only meaningful
+// when the run covered every package the directives' analyzers scope to,
+// so callers auditing ignores should lint the whole module ("./...").
+func LintModuleAudit(dir string, patterns []string) (AuditResult, error) {
+	moduleDir, err := FindModuleRoot(dir)
+	if err != nil {
+		return AuditResult{}, err
 	}
 	loader, err := NewLoader(moduleDir)
 	if err != nil {
-		return nil, err
+		return AuditResult{}, err
 	}
 	all, err := loader.ModulePackages()
 	if err != nil {
-		return nil, err
+		return AuditResult{}, err
 	}
 	paths, err := matchPatterns(loader, dir, all, patterns)
 	if err != nil {
-		return nil, err
+		return AuditResult{}, err
 	}
-	var diags []Diagnostic
+	var res AuditResult
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
-			return nil, err
+			return AuditResult{}, err
 		}
-		diags = append(diags, RunPackage(pkg, All())...)
+		diags, ignores := RunPackageIgnores(pkg, All())
+		res.Diags = append(res.Diags, diags...)
+		res.Ignores = append(res.Ignores, ignores...)
 	}
-	SortDiagnostics(diags)
-	return diags, nil
+	SortDiagnostics(res.Diags)
+	sort.Slice(res.Ignores, func(i, j int) bool {
+		a, b := res.Ignores[i], res.Ignores[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return res, nil
 }
 
 // FindModuleRoot walks up from dir to the directory holding go.mod.

@@ -95,23 +95,68 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// ignoreIndex maps file -> line -> analyzer names silenced there.
-type ignoreIndex map[string]map[int][]string
+// IgnoreDirective is one //lint:ignore comment found in a package. The
+// suite keeps directive identity (not just line coverage) so the stale-
+// suppression audit can report directives that no longer silence anything.
+type IgnoreDirective struct {
+	// Pos is the directive comment's own position.
+	Pos token.Position
+	// Analyzers are the names the directive silences ("all" matches every
+	// analyzer).
+	Analyzers []string
+	// Reason is the mandatory justification text after the analyzer list;
+	// empty means the directive is malformed and suppresses nothing.
+	Reason string
 
+	used bool
+}
+
+// Used reports whether the directive suppressed at least one finding
+// during the analyzer runs that shared its index.
+func (d *IgnoreDirective) Used() bool { return d.used }
+
+// Malformed reports a directive missing its mandatory reason; such
+// directives are inert and the audit flags them.
+func (d *IgnoreDirective) Malformed() bool { return d.Reason == "" }
+
+func (d *IgnoreDirective) String() string {
+	label := strings.Join(d.Analyzers, ",")
+	if d.Malformed() {
+		return fmt.Sprintf("%s:%d: //lint:ignore %s (malformed: missing reason)", d.Pos.Filename, d.Pos.Line, label)
+	}
+	return fmt.Sprintf("%s:%d: //lint:ignore %s %s", d.Pos.Filename, d.Pos.Line, label, d.Reason)
+}
+
+// ignoreIndex maps file -> line -> the directives covering that line.
+type ignoreIndex struct {
+	byLine map[string]map[int][]*IgnoreDirective
+	list   []*IgnoreDirective
+}
+
+// ignored reports whether a directive silences analyzer at file:line, and
+// marks every matching directive used.
 func (ix ignoreIndex) ignored(file string, line int, analyzer string) bool {
-	for _, name := range ix[file][line] {
-		if name == "all" || name == analyzer {
-			return true
+	hit := false
+	for _, d := range ix.byLine[file][line] {
+		if d.Malformed() {
+			continue
+		}
+		for _, name := range d.Analyzers {
+			if name == "all" || name == analyzer {
+				d.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
 }
 
 // buildIgnoreIndex scans the package's comments for lint:ignore directives.
-// A directive covers its own line (trailing-comment form) and the next line
-// (directive-above form).
+// A directive covers its own line (trailing-comment form) and the line
+// below (directive-above form). Malformed directives (no reason) are kept
+// in the list — inert for suppression, visible to the audit.
 func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
-	ix := ignoreIndex{}
+	ix := ignoreIndex{byLine: map[string]map[int][]*IgnoreDirective{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -119,19 +164,26 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 				if !strings.HasPrefix(text, "lint:ignore") {
 					continue
 				}
-				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
-				if len(fields) < 2 {
-					continue // a reason is mandatory; malformed directives are inert
+				rest := strings.TrimPrefix(text, "lint:ignore")
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue // not even an analyzer list; nothing to audit
 				}
-				names := strings.Split(fields[0], ",")
-				pos := fset.Position(c.Pos())
-				m := ix[pos.Filename]
+				d := &IgnoreDirective{
+					Pos:       fset.Position(c.Pos()),
+					Analyzers: strings.Split(fields[0], ","),
+				}
+				if len(fields) > 1 {
+					d.Reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				}
+				ix.list = append(ix.list, d)
+				m := ix.byLine[d.Pos.Filename]
 				if m == nil {
-					m = map[int][]string{}
-					ix[pos.Filename] = m
+					m = map[int][]*IgnoreDirective{}
+					ix.byLine[d.Pos.Filename] = m
 				}
-				m[pos.Line] = append(m[pos.Line], names...)
-				m[pos.Line+1] = append(m[pos.Line+1], names...)
+				m[d.Pos.Line] = append(m[d.Pos.Line], d)
+				m[d.Pos.Line+1] = append(m[d.Pos.Line+1], d)
 			}
 		}
 	}
@@ -142,6 +194,14 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 // findings sorted by position — the suite's own output must be
 // deterministic.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunPackageIgnores(pkg, analyzers)
+	return diags
+}
+
+// RunPackageIgnores is RunPackage plus the package's //lint:ignore
+// directives, with Used() reflecting which ones suppressed a finding —
+// the input to the stale-suppression audit.
+func RunPackageIgnores(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []*IgnoreDirective) {
 	var diags []Diagnostic
 	ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
 	for _, a := range analyzers {
@@ -160,7 +220,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		a.Run(pass)
 	}
 	SortDiagnostics(diags)
-	return diags
+	return diags, ignores.list
 }
 
 // SortDiagnostics orders findings by file, line, column, analyzer.

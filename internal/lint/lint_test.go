@@ -112,6 +112,17 @@ func TestRegisterInitFixture(t *testing.T) { checkFixture(t, RegisterInit, "fixt
 func TestCtxPropFixture(t *testing.T)      { checkFixture(t, CtxProp, "fixtures/ctxprop") }
 func TestStatsAddFixture(t *testing.T)     { checkFixture(t, StatsAdd, "fixtures/statsadd") }
 
+func TestUntrustedFlowFixture(t *testing.T) {
+	checkFixture(t, UntrustedFlow, "fixtures/untrustedflow")
+}
+func TestGoroutineBoundFixture(t *testing.T) {
+	checkFixture(t, GoroutineBound, "fixtures/goroutinebound")
+}
+func TestAllocGuardFixture(t *testing.T) { checkFixture(t, AllocGuard, "fixtures/allocguard") }
+func TestCopyDisciplineFixture(t *testing.T) {
+	checkFixture(t, CopyDiscipline, "fixtures/copydiscipline")
+}
+
 // TestRepositoryClean is the regression gate: the whole module must stay
 // free of dnalint findings. Reintroducing a violation (say, reverting the
 // gsqz Corruptf conversion) fails this test and the CI lint job alike.
@@ -151,13 +162,24 @@ func TestScopes(t *testing.T) {
 		{ClockInject, ModulePath + "/internal/obs", false},
 		{ClockInject, ModulePath + "/internal/synth", false},
 		{ClockInject, ModulePath + "/cmd/dnacomp", false},
+		{UntrustedFlow, ModulePath + "/internal/cloud", true},
+		{UntrustedFlow, ModulePath + "/cmd/dnacomp", true},
+		{UntrustedFlow, ModulePath + "/internal/compress", false},
+		{AllocGuard, ModulePath + "/internal/compress", true},
+		{AllocGuard, ModulePath + "/internal/compress/gsqz", true},
+		{AllocGuard, ModulePath + "/internal/cloud", false},
+		{CopyDiscipline, ModulePath + "/internal/compress", true},
+		{CopyDiscipline, ModulePath + "/internal/cloud", true},
+		{CopyDiscipline, ModulePath + "/internal/experiment", true},
+		{CopyDiscipline, ModulePath + "/internal/stats", true},
+		{CopyDiscipline, ModulePath + "/internal/obs", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Scope(c.pkg); got != c.want {
 			t.Errorf("%s.Scope(%s) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
 		}
 	}
-	for _, a := range []*Analyzer{RegisterInit, StatsAdd} {
+	for _, a := range []*Analyzer{RegisterInit, StatsAdd, GoroutineBound} {
 		if a.Scope != nil {
 			t.Errorf("%s should apply to every package", a.Name)
 		}

@@ -1,0 +1,74 @@
+// Package copydiscipline is a dnalint fixture for the deep-copy
+// convention at exported API boundaries — the Cache.Get/copySlices bug
+// class: internal slice-bearing state must not leak out aliased, and
+// caller-provided slices must not be stored aliased.
+package copydiscipline
+
+type entry struct {
+	data []byte
+	hits int
+}
+
+// copyData is the copySlices-style helper: a method call on the value is
+// trusted to have replaced the aliased memory.
+func (e *entry) copyData() { e.data = append([]byte(nil), e.data...) }
+
+type store struct {
+	m    map[string]entry
+	blob []byte
+}
+
+// LeakEntry returns a map entry still aliasing the store — the PR 6 bug.
+func (s *store) LeakEntry(k string) entry {
+	e := s.m[k]
+	return e // want `returns memory aliasing receiver state`
+}
+
+// CopiedEntry breaks the alias before returning — the Cache.Get fix.
+func (s *store) CopiedEntry(k string) entry {
+	e := s.m[k]
+	e.copyData()
+	return e // ok: copyData replaced the aliased memory
+}
+
+// LeakSlice hands out the internal buffer directly.
+func (s *store) LeakSlice() []byte {
+	return s.blob // want `returns memory aliasing receiver state`
+}
+
+// CopySlice is the sanctioned append-copy idiom.
+func (s *store) CopySlice() []byte {
+	return append([]byte(nil), s.blob...) // ok: fresh backing array
+}
+
+// Count returns a scalar derived from internal state — nothing to alias.
+func (s *store) Count(k string) int {
+	e := s.m[k]
+	return e.hits // ok: ints carry no aliasable memory
+}
+
+// StoreAliased keeps the caller's value (and its slice) — the Put bug.
+func (s *store) StoreAliased(k string, e entry) {
+	s.m[k] = e // want `stores a caller-provided slice-bearing value`
+}
+
+// StoreCopied deep-copies before storing — the Cache.Put fix.
+func (s *store) StoreCopied(k string, e entry) {
+	e.copyData()
+	s.m[k] = e // ok: e's slice was replaced by a private copy
+}
+
+// StoreFresh builds the stored value from scratch.
+func (s *store) StoreFresh(k string, n int) {
+	s.m[k] = entry{data: make([]byte, n)} // ok: fresh memory
+}
+
+// leakUnexported is outside the discipline: unexported methods are
+// internal plumbing, audited at the exported boundary that calls them.
+func (s *store) leakUnexported() []byte { return s.blob } // ok: unexported
+
+// Suppressed documents an intentional borrowed view.
+func (s *store) Suppressed() []byte {
+	//lint:ignore copydiscipline fixture exercises the suppression directive
+	return s.blob
+}
