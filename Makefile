@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-fix-check test race fuzz-smoke chaos corruption blocks bench-json obs-smoke fmt verify
+.PHONY: all build lint lint-fix-check test race fuzz-smoke chaos corruption blocks bench-json obs-smoke serve fmt verify
 
 all: build
 
@@ -70,6 +70,23 @@ blocks:
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_6.json
 
+bench-json-server:
+	$(GO) run ./cmd/benchjson -suite server -o BENCH_8.json
+
+# Serving gate: the daemon and debug-server tests under the race detector
+# (admission control, graceful drain, reader contracts, expvar remount,
+# synchronous pprof bind), then a deterministic load-generator smoke
+# against a real dnacompd process — full outcome accounting, zero failed
+# or mismatched requests.
+serve:
+	$(GO) test ./internal/serve ./internal/obs ./cmd/dnacompd -race
+	$(GO) build -o bin/dnacompd ./cmd/dnacompd
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	./bin/dnacompd -loadgen self -requests 24 -conc 6 -seed 2015 > "$$tmp/load.json" || { echo "serve: loadgen smoke failed"; exit 1; }; \
+	grep -q '"failed": 0' "$$tmp/load.json" || { echo "serve: loadgen reported failures"; exit 1; }; \
+	grep -q '"mismatches": 0' "$$tmp/load.json" || { echo "serve: loadgen reported mismatches"; exit 1; }; \
+	echo "serve: ok"
+
 # Chaos gate: the fault-injection and exchange tests under -race, run
 # twice to prove the seeded fault schedules and retry backoff reproduce
 # exactly (same seed => byte-identical reports).
@@ -96,4 +113,4 @@ obs-smoke:
 fmt:
 	gofmt -w .
 
-verify: lint build race chaos corruption blocks obs-smoke
+verify: lint build race chaos corruption blocks obs-smoke serve

@@ -1,32 +1,48 @@
-// Command benchjson runs the pinned block-engine benchmark suite and
-// writes a machine-readable BENCH_<n>.json snapshot, so every PR records
-// its performance trajectory as data instead of prose:
+// Command benchjson runs a pinned benchmark suite and writes a
+// machine-readable BENCH_<n>.json snapshot, so every PR records its
+// performance trajectory as data instead of prose:
 //
 //	go run ./cmd/benchjson -o BENCH_6.json
+//	go run ./cmd/benchjson -suite server -o BENCH_8.json
 //
-// The suite is the same sweep as BenchmarkBlockCompressJobs /
-// BenchmarkBlockSeek in the repo benchmarks: block compression at jobs
-// 1/2/4/8 on a 1 MB corpus-profile sequence in 64 KB blocks, the
-// whole-slice baseline, the full-container decode, and a 512-base seek.
-// Absolute numbers are hardware-dependent; the recorded shapes (jobs
-// scaling, seek vs full decode) are the comparison targets across PRs.
+// The default block-engine suite is the same sweep as
+// BenchmarkBlockCompressJobs / BenchmarkBlockSeek in the repo benchmarks:
+// block compression at jobs 1/2/4/8 on a 1 MB corpus-profile sequence in
+// 64 KB blocks, the whole-slice baseline, the full-container decode, and
+// a 512-base seek.
+//
+// The server suite boots an in-process dnacompd daemon (internal/serve)
+// and sweeps the deterministic load generator across client concurrency
+// 1/4/8/16, recording sustained throughput and end-to-end latency
+// percentiles per step. Every request's outcome is accounted — completed,
+// rejected (429 backpressure) or failed — and a failed or mismatched run
+// fails the snapshot. Absolute numbers are hardware-dependent; the
+// recorded shapes (jobs scaling, seek vs full decode, latency vs
+// concurrency) are the comparison targets across PRs.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/obs"
+	"github.com/srl-nuces/ctxdna/internal/serve"
 	"github.com/srl-nuces/ctxdna/internal/synth"
 
 	_ "github.com/srl-nuces/ctxdna/internal/compress/dnax"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/gzipx"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/twobit"
 )
 
-// Record is one benchmark result row.
+// Record is one benchmark result row. The latency/outcome fields are
+// filled by the server suite only.
 type Record struct {
 	Name     string  `json:"name"`
 	N        int     `json:"n"`
@@ -34,6 +50,13 @@ type Record struct {
 	MBPerS   float64 `json:"mb_per_s,omitempty"`
 	BytesOp  int64   `json:"bytes_per_op"`
 	AllocsOp int64   `json:"allocs_per_op"`
+
+	P50MS     float64 `json:"p50_ms,omitempty"`
+	P90MS     float64 `json:"p90_ms,omitempty"`
+	P99MS     float64 `json:"p99_ms,omitempty"`
+	MaxMS     float64 `json:"max_ms,omitempty"`
+	Completed int     `json:"completed,omitempty"`
+	Rejected  int     `json:"rejected,omitempty"`
 }
 
 // Doc is the snapshot file layout.
@@ -42,9 +65,9 @@ type Doc struct {
 	Suite      string   `json:"suite"`
 	Go         string   `json:"go"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
-	Codec      string   `json:"codec"`
-	Bases      int      `json:"bases"`
-	BlockSize  int      `json:"block_size"`
+	Codec      string   `json:"codec,omitempty"`
+	Bases      int      `json:"bases,omitempty"`
+	BlockSize  int      `json:"block_size,omitempty"`
 	Records    []Record `json:"records"`
 }
 
@@ -141,15 +164,108 @@ func run(codecName string, bases, blockSize int) (Doc, error) {
 	return doc, nil
 }
 
+// runServer boots an in-process daemon and sweeps the deterministic load
+// generator across client concurrencies, recording sustained throughput
+// (MB of sequence data through /compress per wall second) and latency
+// percentiles per step.
+func runServer(units int, seed int64) (Doc, error) {
+	doc := Doc{
+		Schema:     "ctxdna-bench/v1",
+		Suite:      "server-throughput",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	// The same compact training corpus ctxselect's fallback uses, shrunk to
+	// keep snapshot generation fast: selection still runs through a real
+	// trained tree, which is what the suite is measuring the cost of.
+	engine, err := serve.TrainEngine(
+		synth.CorpusSpec{NumFiles: 8, MinSize: 2 << 10, MaxSize: 32 << 10, Seed: 2015},
+		"cart",
+		[]string{"dnax", "gzip", "twobit"},
+	)
+	if err != nil {
+		return doc, fmt.Errorf("training selection model: %w", err)
+	}
+	srv, err := serve.NewServer(serve.Config{Engine: engine, Registry: obs.NewRegistry()})
+	if err != nil {
+		return doc, err
+	}
+	ds, err := obs.NewDebugServer("127.0.0.1:0", srv.Handler())
+	if err != nil {
+		return doc, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- ds.Serve() }()
+
+	for _, conc := range []int{1, 4, 8, 16} {
+		t0 := time.Now()
+		rep, err := serve.RunLoad(context.Background(), serve.LoadOptions{
+			BaseURL:     ds.URL(),
+			Units:       units,
+			Concurrency: conc,
+			Seed:        seed,
+			Registry:    obs.NewRegistry(),
+		})
+		elapsed := time.Since(t0)
+		if err != nil {
+			return doc, fmt.Errorf("conc=%d: %w", conc, err)
+		}
+		if rep.Failed > 0 || rep.Mismatches > 0 {
+			return doc, fmt.Errorf("conc=%d: %d failed, %d mismatched: %v", conc, rep.Failed, rep.Mismatches, rep.Errors)
+		}
+		rec := Record{
+			Name:      fmt.Sprintf("server_load/conc=%d", conc),
+			N:         rep.Calls,
+			NsPerOp:   rep.Latency.MeanMS * 1e6,
+			P50MS:     rep.Latency.P50MS,
+			P90MS:     rep.Latency.P90MS,
+			P99MS:     rep.Latency.P99MS,
+			MaxMS:     rep.Latency.MaxMS,
+			Completed: rep.Completed,
+			Rejected:  rep.Rejected,
+		}
+		if elapsed > 0 {
+			rec.MBPerS = float64(rep.InputBases) / 1e6 / elapsed.Seconds()
+		}
+		doc.Records = append(doc.Records, rec)
+	}
+
+	srv.BeginDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ds.Shutdown(sctx); err != nil {
+		return doc, err
+	}
+	if err := <-serveErr; err != nil {
+		return doc, err
+	}
+	srv.Close()
+	return doc, nil
+}
+
 func main() {
 	var (
 		out       = flag.String("o", "", "output path (default stdout)")
-		codecName = flag.String("codec", "dnax", "codec to benchmark")
-		bases     = flag.Int("bases", 1<<20, "sequence length in bases")
-		blockSize = flag.Int("block-size", 64<<10, "block size in bases")
+		suite     = flag.String("suite", "block-engine", "suite to run: block-engine or server")
+		codecName = flag.String("codec", "dnax", "codec to benchmark (block-engine suite)")
+		bases     = flag.Int("bases", 1<<20, "sequence length in bases (block-engine suite)")
+		blockSize = flag.Int("block-size", 64<<10, "block size in bases (block-engine suite)")
+		units     = flag.Int("requests", 96, "load units per concurrency step (server suite)")
+		seed      = flag.Int64("seed", 2015, "request-plan seed (server suite)")
 	)
 	flag.Parse()
-	doc, err := run(*codecName, *bases, *blockSize)
+	var (
+		doc Doc
+		err error
+	)
+	switch *suite {
+	case "block-engine":
+		doc, err = run(*codecName, *bases, *blockSize)
+	case "server":
+		doc, err = runServer(*units, *seed)
+	default:
+		err = fmt.Errorf("unknown -suite %q: want block-engine or server", *suite)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

@@ -110,12 +110,16 @@ func main() {
 		ctx = obs.WithTracer(ctx, tracer)
 	}
 	if *pprofAddr != "" {
+		// The listener binds synchronously: an unbindable -pprof address is
+		// a usage error reported before any work starts, not an async log
+		// line racing the run.
+		srv, err := obs.NewDebugServer(*pprofAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dnacomp: debug server:", err)
+			os.Exit(2)
+		}
 		//lint:ignore goroutinebound debug server intentionally serves for the whole process lifetime; the kernel reclaims it at exit
-		go func() {
-			if err := obs.ServeDebug(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "dnacomp: debug server:", err)
-			}
-		}()
+		go srv.Serve()
 	}
 
 	var err error

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	binOnce  sync.Once
+	binPath  string
+	binBuild error
+)
+
+// buildCLI compiles dnacomp once per test binary for process-level
+// exit-status assertions.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	binOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "dnacomp")
+		if err != nil {
+			binBuild = err
+			return
+		}
+		binPath = filepath.Join(dir, "dnacomp")
+		if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+			binBuild = err
+			t.Logf("go build: %s", out)
+		}
+	})
+	if binBuild != nil {
+		t.Fatalf("building dnacomp: %v", binBuild)
+	}
+	return binPath
+}
+
+// TestPprofBadAddrExitsStatus2 is the bugfix-sweep regression: an
+// unbindable -pprof address must fail the process with a usage error
+// (exit 2) before any work runs, not launch the pipeline and report the
+// bind failure asynchronously from a goroutine.
+func TestPprofBadAddrExitsStatus2(t *testing.T) {
+	bin := buildCLI(t)
+	cmd := exec.Command(bin, "-codec", "twobit", "-q", "-pprof", "256.256.256.256:99999")
+	cmd.Stdin = strings.NewReader("ACGTACGTACGT")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error, got %v (stdout %d bytes)", err, stdout.Len())
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("exit status %d, want 2\nstderr: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Error("compression ran despite the unbindable -pprof address")
+	}
+	if !strings.Contains(stderr.String(), "debug server") {
+		t.Errorf("stderr does not name the debug server failure: %s", stderr.String())
+	}
+}
+
+// TestPprofGoodAddrStillWorks: a bindable address must not break the
+// normal pipeline.
+func TestPprofGoodAddrStillWorks(t *testing.T) {
+	bin := buildCLI(t)
+	cmd := exec.Command(bin, "-codec", "twobit", "-q", "-pprof", "127.0.0.1:0")
+	cmd.Stdin = strings.NewReader("ACGTACGTACGT")
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("run with -pprof 127.0.0.1:0: %v", err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no container on stdout")
+	}
+}

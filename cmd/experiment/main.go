@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -73,9 +74,16 @@ func main() {
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "experiment:", err)
+		if errors.Is(err, errBind) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
+
+// errBind marks listener-bind failures, which are usage errors: main
+// reports them with exit status 2 like any other bad flag value.
+var errBind = errors.New("bind failed")
 
 func run(cfg runConfig) error {
 	// Dedicated registry per run: metric values reflect this invocation
@@ -88,13 +96,16 @@ func run(cfg runConfig) error {
 		ctx = obs.WithTracer(ctx, tracer)
 	}
 	if cfg.pprofAddr != "" {
-		fmt.Fprintf(os.Stderr, "experiment: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", cfg.pprofAddr)
+		// The listener binds synchronously: an unbindable -pprof address
+		// fails the run up front (exit 2 via errBind) instead of surfacing
+		// asynchronously mid-grid.
+		srv, err := obs.NewDebugServer(cfg.pprofAddr, obs.DebugHandler(reg))
+		if err != nil {
+			return fmt.Errorf("debug server %s: %v: %w", cfg.pprofAddr, err, errBind)
+		}
+		fmt.Fprintf(os.Stderr, "experiment: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
 		//lint:ignore goroutinebound debug server intentionally serves for the whole process lifetime; the kernel reclaims it at exit
-		go func() {
-			if err := obs.ServeDebug(cfg.pprofAddr, reg); err != nil {
-				fmt.Fprintln(os.Stderr, "experiment: debug server:", err)
-			}
-		}()
+		go srv.Serve()
 	}
 
 	spec := synth.CorpusSpec{NumFiles: cfg.nFiles, MinSize: cfg.minKB << 10, MaxSize: cfg.maxKB << 10, Seed: cfg.seed}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	binOnce  sync.Once
+	binPath  string
+	binBuild error
+)
+
+// buildCLI compiles experiment once per test binary for process-level
+// exit-status assertions.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	binOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "experiment")
+		if err != nil {
+			binBuild = err
+			return
+		}
+		binPath = filepath.Join(dir, "experiment")
+		if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+			binBuild = err
+			t.Logf("go build: %s", out)
+		}
+	})
+	if binBuild != nil {
+		t.Fatalf("building experiment: %v", binBuild)
+	}
+	return binPath
+}
+
+// TestPprofBadAddrExitsStatus2 is the bugfix-sweep regression: an
+// unbindable -pprof address must abort the run with exit status 2 before
+// the grid builds, instead of running the whole experiment and logging
+// the bind failure asynchronously.
+func TestPprofBadAddrExitsStatus2(t *testing.T) {
+	bin := buildCLI(t)
+	out := filepath.Join(t.TempDir(), "grid.csv")
+	cmd := exec.Command(bin, "-files", "2", "-min-kb", "1", "-max-kb", "2", "-out", out, "-pprof", "256.256.256.256:99999")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error, got %v", err)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("exit status %d, want 2\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "debug server") {
+		t.Errorf("stderr does not name the debug server failure: %s", stderr.String())
+	}
+	if _, serr := os.Stat(out); serr == nil {
+		t.Error("grid CSV written despite the unbindable -pprof address")
+	}
+}

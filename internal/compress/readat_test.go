@@ -1,0 +1,147 @@
+package compress_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/iotest"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+
+	_ "github.com/srl-nuces/ctxdna/internal/compress/twobit"
+)
+
+// raggedReader builds a BlockReader whose last block is shorter than the
+// block size — the ragged-tail shape where off-by-one ReadAt bugs live.
+func raggedReader(t *testing.T, bases, blockSize int) (*compress.BlockReader, []byte) {
+	t.Helper()
+	src := blockSrc(bases)
+	container, _, err := compress.BlockCompress("twobit", src, compress.BlockOptions{BlockSize: blockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := compress.OpenBlocks(container, compress.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, src
+}
+
+// TestReadAtContract pins BlockReader.ReadAt to the documented io.ReaderAt
+// semantics over ragged-tail containers, via the standard library's own
+// checkers: iotest.TestReader over an io.SectionReader covers sequential
+// reads, seeks and EOF behavior for every window shape.
+func TestReadAtContract(t *testing.T) {
+	cases := []struct{ bases, blockSize int }{
+		{1000, 64}, // ragged tail: 1000 % 64 != 0
+		{777, 100}, // ragged tail, odd sizes
+		{512, 64},  // exact multiple: no tail
+		{63, 64},   // single short block
+		{1, 64},    // single base
+	}
+	for _, tc := range cases {
+		r, src := raggedReader(t, tc.bases, tc.blockSize)
+		if err := iotest.TestReader(io.NewSectionReader(r, 0, int64(tc.bases)), src); err != nil {
+			t.Errorf("bases=%d blockSize=%d: %v", tc.bases, tc.blockSize, err)
+		}
+		// A section starting mid-block and ending mid-tail.
+		if tc.bases > 10 {
+			off, n := int64(3), int64(tc.bases-7)
+			if err := iotest.TestReader(io.NewSectionReader(r, off, n), src[off:off+n]); err != nil {
+				t.Errorf("bases=%d blockSize=%d section [3, %d): %v", tc.bases, tc.blockSize, int64(3)+n, err)
+			}
+		}
+	}
+}
+
+// TestReadAtEOFShapes pins the exact (n, err) pairs the io.ReaderAt
+// contract specifies at and beyond the end of the symbol space.
+func TestReadAtEOFShapes(t *testing.T) {
+	const bases, blockSize = 1000, 64
+	r, src := raggedReader(t, bases, blockSize)
+
+	t.Run("short read at EOF returns n and io.EOF", func(t *testing.T) {
+		p := make([]byte, 100)
+		n, err := r.ReadAt(p, bases-30)
+		if n != 30 || err != io.EOF {
+			t.Fatalf("ReadAt(100 bytes, bases-30) = (%d, %v), want (30, io.EOF)", n, err)
+		}
+		if !bytes.Equal(p[:n], src[bases-30:]) {
+			t.Fatal("short read returned wrong tail bytes")
+		}
+	})
+
+	t.Run("empty read at off==bases returns (0, nil)", func(t *testing.T) {
+		if n, err := r.ReadAt(nil, bases); n != 0 || err != nil {
+			t.Fatalf("ReadAt(len 0, bases) = (%d, %v), want (0, nil)", n, err)
+		}
+	})
+
+	t.Run("non-empty read at off==bases returns io.EOF", func(t *testing.T) {
+		if n, err := r.ReadAt(make([]byte, 1), bases); n != 0 || err != io.EOF {
+			t.Fatalf("ReadAt(len 1, bases) = (%d, %v), want (0, io.EOF)", n, err)
+		}
+	})
+
+	t.Run("read past the end returns io.EOF", func(t *testing.T) {
+		if n, err := r.ReadAt(make([]byte, 8), bases+50); n != 0 || err != io.EOF {
+			t.Fatalf("ReadAt(len 8, bases+50) = (%d, %v), want (0, io.EOF)", n, err)
+		}
+	})
+
+	t.Run("negative offset is an error, not a panic", func(t *testing.T) {
+		if n, err := r.ReadAt(make([]byte, 8), -1); n != 0 || err == nil {
+			t.Fatalf("ReadAt(len 8, -1) = (%d, %v), want (0, error)", n, err)
+		}
+	})
+
+	t.Run("full read has no spurious EOF", func(t *testing.T) {
+		p := make([]byte, 40)
+		n, err := r.ReadAt(p, 0)
+		if n != 40 || err != nil {
+			t.Fatalf("ReadAt(40, 0) = (%d, %v), want (40, nil)", n, err)
+		}
+		if !bytes.Equal(p, src[:40]) {
+			t.Fatal("wrong bytes")
+		}
+	})
+
+	t.Run("read spanning the ragged tail boundary", func(t *testing.T) {
+		// Block 15 starts at 960; the tail holds 40 bases. Read across it.
+		p := make([]byte, 60)
+		n, err := r.ReadAt(p, 930)
+		if n != 60 || err != nil {
+			t.Fatalf("ReadAt(60, 930) = (%d, %v), want (60, nil)", n, err)
+		}
+		if !bytes.Equal(p, src[930:990]) {
+			t.Fatal("wrong bytes across the tail boundary")
+		}
+	})
+}
+
+// TestReadAtAgainstSectionReaderReads cross-checks ReadAt against
+// io.SectionReader-driven sequential reads for many window shapes: both
+// must restore the identical bytes Slice and Decompress agree on.
+func TestReadAtAgainstSectionReaderReads(t *testing.T) {
+	const bases, blockSize = 777, 100
+	r, src := raggedReader(t, bases, blockSize)
+	for _, w := range []struct{ off, n int }{
+		{0, bases}, {0, 1}, {776, 1}, {700, 77}, {99, 2}, {100, 100}, {50, 650},
+	} {
+		sr := io.NewSectionReader(r, int64(w.off), int64(w.n))
+		got, err := io.ReadAll(sr)
+		if err != nil {
+			t.Fatalf("window [%d,+%d): %v", w.off, w.n, err)
+		}
+		if !bytes.Equal(got, src[w.off:w.off+w.n]) {
+			t.Errorf("window [%d,+%d) differs from the source slice", w.off, w.n)
+		}
+		sliced, _, err := r.Slice(w.off, w.n)
+		if err != nil {
+			t.Fatalf("Slice [%d,+%d): %v", w.off, w.n, err)
+		}
+		if !bytes.Equal(got, sliced) {
+			t.Errorf("window [%d,+%d): ReadAt path differs from Slice", w.off, w.n)
+		}
+	}
+}

@@ -17,9 +17,9 @@ var ClockInject = &Analyzer{
 	Doc: `flags direct time.Now / time.Since calls in packages that must take
 their clock from obs.Clock (obs.System in CLIs, obs.NewFake in tests).
 Methods on an injected clock are the sanctioned path and stay clean.
-Scope: internal/compress/..., internal/cloud, internal/experiment
-(non-test files).`,
-	Scope: scopeUnder("internal/compress", "internal/cloud", "internal/experiment"),
+Scope: internal/compress/..., internal/cloud, internal/experiment,
+internal/serve (non-test files).`,
+	Scope: scopeUnder("internal/compress", "internal/cloud", "internal/experiment", "internal/serve"),
 	Run:   runClockInject,
 }
 

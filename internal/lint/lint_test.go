@@ -159,10 +159,12 @@ func TestScopes(t *testing.T) {
 		{ClockInject, ModulePath + "/internal/compress/gsqz", true},
 		{ClockInject, ModulePath + "/internal/cloud", true},
 		{ClockInject, ModulePath + "/internal/experiment", true},
+		{ClockInject, ModulePath + "/internal/serve", true},
 		{ClockInject, ModulePath + "/internal/obs", false},
 		{ClockInject, ModulePath + "/internal/synth", false},
 		{ClockInject, ModulePath + "/cmd/dnacomp", false},
 		{UntrustedFlow, ModulePath + "/internal/cloud", true},
+		{UntrustedFlow, ModulePath + "/internal/serve", true},
 		{UntrustedFlow, ModulePath + "/cmd/dnacomp", true},
 		{UntrustedFlow, ModulePath + "/internal/compress", false},
 		{AllocGuard, ModulePath + "/internal/compress", true},

@@ -19,8 +19,8 @@ os.ReadFile/io.ReadAll input, []byte parameters) through assignments,
 appends, slices and branches, and flags flows into a raw Decompress call
 or into make() sizing without an intervening bound check. Sanctioned
 sinks: compress.SafeDecompress, SafeDecompressAny, Open, OpenBlocks,
-OpenBlocksObserved. Scope: internal/cloud and cmd/.`,
-	Scope: scopeUnder("internal/cloud", "cmd"),
+OpenBlocksObserved. Scope: internal/cloud, internal/serve and cmd/.`,
+	Scope: scopeUnder("internal/cloud", "internal/serve", "cmd"),
 	Run:   runUntrustedFlow,
 }
 

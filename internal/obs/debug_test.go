@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDebugServerBindsSynchronously: the satellite bugfix contract — a bad
+// address fails at construction, not asynchronously from a goroutine, and
+// ":0" is usable because the bound port is known.
+func TestDebugServerBindsSynchronously(t *testing.T) {
+	if _, err := NewDebugServer("256.256.256.256:99999", nil); err == nil {
+		t.Fatal("bad address bound without error")
+	}
+
+	s, err := NewDebugServer("127.0.0.1:0", DebugHandler(NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr := s.Addr(); strings.HasSuffix(addr, ":0") {
+		t.Fatalf("Addr() = %q still reports port 0", addr)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve() }()
+
+	resp, err := http.Get(s.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d: %s", resp.StatusCode, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v after clean shutdown, want nil", err)
+	}
+	if _, err := http.Get(s.URL() + "/metrics"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}
+
+// TestDebugServerShutdownBeforeServe: Shutdown on a bound-but-never-served
+// server must release the listener and return promptly.
+func TestDebugServerShutdownBeforeServe(t *testing.T) {
+	s, err := NewDebugServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown before Serve: %v", err)
+	}
+}
+
+// TestDebugServerTimeoutsSet: the slowloris guards must be configured —
+// the whole point of replacing the bare http.ListenAndServe.
+func TestDebugServerTimeoutsSet(t *testing.T) {
+	s, err := NewDebugServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	if s.srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slowloris-open")
+	}
+	if s.srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset")
+	}
+}
+
+// TestPublishExpvarRemount: the satellite regression — mounting the
+// handler with a second, different registry must repoint /debug/vars at
+// the second registry's numbers, not keep serving the first forever.
+func TestPublishExpvarRemount(t *testing.T) {
+	name := fmt.Sprintf("test_remount_%d", time.Now().UnixNano())
+
+	reg1 := NewRegistry()
+	reg1.Counter("remount_first_total", "").Add(11)
+	reg1.PublishExpvar(name)
+
+	read := func() map[string]any {
+		v := expvar.Get(name)
+		if v == nil {
+			t.Fatalf("expvar %q not published", name)
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+			t.Fatalf("expvar %q renders invalid JSON: %v", name, err)
+		}
+		return m
+	}
+	if m := read(); m["remount_first_total"] != 11.0 {
+		t.Fatalf("first registry not served: %v", m)
+	}
+
+	reg2 := NewRegistry()
+	reg2.Counter("remount_second_total", "").Add(22)
+	reg2.PublishExpvar(name)
+
+	m := read()
+	if m["remount_second_total"] != 22.0 {
+		t.Fatalf("second registry not served after remount: %v", m)
+	}
+	if _, stale := m["remount_first_total"]; stale {
+		t.Fatalf("first registry still served after remount: %v", m)
+	}
+}
+
+// TestPublishExpvarForeignNameUntouched: a name already taken by a
+// non-registry expvar cannot be repointed; PublishExpvar must neither
+// panic nor clobber it.
+func TestPublishExpvarForeignNameUntouched(t *testing.T) {
+	name := fmt.Sprintf("test_foreign_%d", time.Now().UnixNano())
+	v := new(expvar.Int)
+	v.Set(7)
+	expvar.Publish(name, v)
+
+	reg := NewRegistry()
+	reg.Counter("foreign_total", "").Inc()
+	reg.PublishExpvar(name) // must not panic
+	if got := expvar.Get(name).String(); got != "7" {
+		t.Fatalf("foreign expvar clobbered: %s", got)
+	}
+}

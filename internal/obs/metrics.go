@@ -438,15 +438,40 @@ func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// expvarTargets maps each published expvar name to the registry currently
+// backing it. expvar.Publish is write-once per process, so the published
+// Func reads through this indirection: republishing a name with a
+// different registry repoints the variable instead of silently serving the
+// first registry's numbers forever.
+var (
+	expvarMu      sync.Mutex
+	expvarTargets = map[string]*atomic.Pointer[Registry]{}
+)
+
 // PublishExpvar exposes the registry as one expvar variable under name
 // (rendered as a JSON object of series name to value), so /debug/vars
-// serves the same numbers /metrics does. Publishing the same name twice is
-// a no-op — expvar itself panics on duplicates.
+// serves the same numbers /metrics does. expvar itself panics on duplicate
+// Publish calls, so the name is published once per process with an
+// indirection that always resolves the registry most recently mounted
+// under it — a second DebugHandler with a different registry takes over
+// /debug/vars instead of being silently shadowed by the first.
 func (r *Registry) PublishExpvar(name string) {
-	if expvar.Get(name) != nil {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	p := expvarTargets[name]
+	if p == nil {
+		if expvar.Get(name) != nil {
+			// The name is taken by a variable this package never published;
+			// repointing it is impossible and claiming it would panic.
+			return
+		}
+		p = &atomic.Pointer[Registry]{}
+		p.Store(r) // before Publish: the Func must never observe a nil target
+		expvarTargets[name] = p
+		expvar.Publish(name, expvar.Func(func() any { return p.Load().expvarMap() }))
 		return
 	}
-	expvar.Publish(name, expvar.Func(func() any { return r.expvarMap() }))
+	p.Store(r)
 }
 
 func (r *Registry) expvarMap() map[string]any {

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/srl-nuces/ctxdna/internal/cloud"
+	"github.com/srl-nuces/ctxdna/internal/core"
+	"github.com/srl-nuces/ctxdna/internal/dtree"
+	"github.com/srl-nuces/ctxdna/internal/experiment"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+// LoadModel reads a trained decision-tree model persisted by
+// `ctxselect -save-model` and wraps it in the inference engine the daemon
+// selects codecs with. Serving from a file keeps the daemon's choices
+// byte-for-byte consistent with the offline CLI's answers for the same
+// context.
+func LoadModel(path string) (*core.InferenceEngine, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tree := &dtree.Tree{}
+	if err := json.Unmarshal(data, tree); err != nil {
+		return nil, fmt.Errorf("serve: model %s: %w", path, err)
+	}
+	return core.NewInferenceEngine(tree)
+}
+
+// SaveModel persists an engine's tree in the same JSON shape
+// `ctxselect -save-model` writes, so models move freely between the CLI
+// and the daemon.
+func SaveModel(path string, eng *core.InferenceEngine) error {
+	data, err := json.MarshalIndent(eng.Tree(), "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// TrainEngine builds a selection model from scratch: generate a synthetic
+// corpus, run the measurement grid over the paper's 32 contexts and the
+// given codecs, induce a tree with the requested method, and wrap it for
+// inference. The codecs must be registered by the caller (blank imports).
+func TrainEngine(spec synth.CorpusSpec, method string, codecs []string) (*core.InferenceEngine, error) {
+	files := synth.ExperimentCorpus(spec)
+	g, err := experiment.Run(files, cloud.Grid(), codecs, experiment.DefaultNoise())
+	if err != nil {
+		return nil, fmt.Errorf("serve: training grid: %w", err)
+	}
+	train, test := g.Split()
+	tree, _, err := experiment.TrainEval(train, test, method, core.TimeOnlyWeights(), dtree.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("serve: train: %w", err)
+	}
+	return core.NewInferenceEngine(tree)
+}
+
+// TrainDefaultEngine is the no-model-file fallback, mirroring ctxselect's
+// compact training grid (32 files, 2 KB .. 256 KB, seed 2015, CART over
+// the paper's four compared codecs) so daemon and CLI agree without
+// shipping a file.
+func TrainDefaultEngine() (*core.InferenceEngine, error) {
+	return TrainEngine(
+		synth.CorpusSpec{NumFiles: 32, MinSize: 2 << 10, MaxSize: 256 << 10, Seed: 2015},
+		"cart",
+		[]string{"ctw", "dnax", "gencompress", "gzip"},
+	)
+}

@@ -1,0 +1,701 @@
+// Package serve is the compression-as-a-service layer: a long-running
+// HTTP daemon that applies the paper's context-aware codec selection per
+// request. POST /compress takes a sequence plus the caller's declared
+// exchange context (file size, RAM, CPU, bandwidth) and answers with a
+// sealed armored frame — single CXA1 frame or seekable CXB1 multi-block
+// container — compressed with the codec the trained CART/CHAID decision
+// tree picks for that context. POST /decompress (and GET range reads over
+// containers stored by name) restores any armored stream through the
+// hardened compress.SafeDecompressAny path.
+//
+// Concurrency model: requests are admitted into a bounded queue and
+// executed by a fixed worker pool; a full queue answers 429 with
+// Retry-After (backpressure, never silent drops), and per-codec
+// semaphores bound how many workers a single expensive codec can occupy.
+// Handlers are pure functions of (request, model, registry): response
+// bytes never depend on wall time, worker interleaving or queue state, so
+// the repo's byte-determinism contract extends to the daemon. The wall
+// clock enters only through an injected obs.Clock, and only into
+// latency histograms.
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/core"
+	"github.com/srl-nuces/ctxdna/internal/obs"
+	"github.com/srl-nuces/ctxdna/internal/seq"
+)
+
+// Default sizing for the admission-control plane. All are overridable via
+// Config; the defaults favor bounded memory over peak throughput.
+const (
+	// DefaultMaxBodyBytes caps an accepted request body (64 MiB).
+	DefaultMaxBodyBytes = 64 << 20
+	// DefaultRetryAfterSeconds is the backpressure hint on 429 responses.
+	DefaultRetryAfterSeconds = 1
+	// DefaultMaxStored caps how many named containers the store retains.
+	DefaultMaxStored = 256
+)
+
+// Config wires a Server. The zero value of every field has a usable
+// default except Engine, which is required.
+type Config struct {
+	// Engine selects a codec per declared context — the trained decision
+	// tree from cmd/ctxselect wrapped in core.NewInferenceEngine.
+	Engine *core.InferenceEngine
+	// Registry receives all daemon metrics; nil means obs.Default().
+	Registry *obs.Registry
+	// Clock feeds the latency histograms; nil means obs.System(). Response
+	// bytes never depend on it.
+	Clock obs.Clock
+	// Workers bounds concurrently-executing requests; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker; <= 0 means
+	// 4 x Workers. A full queue answers 429 + Retry-After.
+	QueueDepth int
+	// PerCodec bounds how many workers may run the same codec at once;
+	// <= 0 means Workers (no extra restriction).
+	PerCodec int
+	// MaxBodyBytes caps the request body; <= 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// Limits bounds untrusted decompression; the zero value applies the
+	// compress package defaults.
+	Limits compress.Limits
+	// MaxStored caps the named-container store; <= 0 means
+	// DefaultMaxStored.
+	MaxStored int
+	// DefaultContext fills context features the request leaves undeclared.
+	// The zero value uses the paper-style lab client ctxselect defaults
+	// (3584 MB RAM, 2400 MHz, 10 Mbps).
+	DefaultContext core.Context
+	// RetryAfterSeconds is the 429 backpressure hint; <= 0 means
+	// DefaultRetryAfterSeconds.
+	RetryAfterSeconds int
+}
+
+// job is one admitted unit of work: the worker runs it and sends exactly
+// one response on done.
+type job struct {
+	codec string // per-codec semaphore key ("" = none resolved yet)
+	run   func() *response
+	done  chan *response
+}
+
+// response is the deterministic outcome of a handler's work function.
+type response struct {
+	status      int
+	contentType string
+	header      map[string]string
+	body        []byte
+}
+
+// serveMetrics is the daemon's observability surface.
+type serveMetrics struct {
+	reg        *obs.Registry
+	queueDepth *obs.Gauge
+	inflight   *obs.Gauge
+}
+
+func newServeMetrics(reg *obs.Registry) serveMetrics {
+	return serveMetrics{
+		reg:        reg,
+		queueDepth: reg.Gauge("dna_serve_queue_depth", "Requests waiting for a worker."),
+		inflight:   reg.Gauge("dna_serve_inflight", "Requests currently executing on a worker."),
+	}
+}
+
+func (m serveMetrics) request(endpoint string, status int) {
+	m.reg.Counter("dna_serve_requests_total", "Requests served, by endpoint and status code.",
+		"endpoint", endpoint, "code", strconv.Itoa(status)).Inc()
+}
+
+func (m serveMetrics) rejected(reason string) {
+	m.reg.Counter("dna_serve_rejected_total", "Requests rejected before reaching a worker, by reason.",
+		"reason", reason).Inc()
+}
+
+func (m serveMetrics) latency(endpoint string, ms float64) {
+	m.reg.Histogram("dna_serve_latency_ms", "End-to-end request latency in milliseconds.",
+		obs.DefMSBuckets(), "endpoint", endpoint).Observe(ms)
+}
+
+func (m serveMetrics) selected(codec, source string) {
+	m.reg.Counter("dna_serve_codec_selected_total", "Codec choices, by codec and selection source (tree or request).",
+		"codec", codec, "source", source).Inc()
+}
+
+// Server is the daemon core. Construct with NewServer, mount Handler on a
+// listener (obs.DebugServer in cmd/dnacompd, httptest in tests), and on
+// the way down call BeginDrain, drain the HTTP layer, then Close.
+type Server struct {
+	cfg      Config
+	engine   *core.InferenceEngine
+	reg      *obs.Registry
+	clock    obs.Clock
+	met      serveMetrics
+	queue    chan job
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	codecSem map[string]chan struct{}
+
+	storeMu sync.RWMutex
+	store   map[string][]byte
+}
+
+// NewServer validates cfg, starts the worker pool and returns the ready
+// Server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("serve: Config.Engine is required (train or load a model first)")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.PerCodec <= 0 || cfg.PerCodec > cfg.Workers {
+		cfg.PerCodec = cfg.Workers
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxStored <= 0 {
+		cfg.MaxStored = DefaultMaxStored
+	}
+	if cfg.RetryAfterSeconds <= 0 {
+		cfg.RetryAfterSeconds = DefaultRetryAfterSeconds
+	}
+	if cfg.DefaultContext == (core.Context{}) {
+		cfg.DefaultContext = core.Context{RAMMB: 3584, CPUMHz: 2400, BandwidthMbps: 10}
+	}
+	reg := obs.OrDefault(cfg.Registry)
+	s := &Server{
+		cfg:      cfg,
+		engine:   cfg.Engine,
+		reg:      reg,
+		clock:    cfg.Clock,
+		met:      newServeMetrics(reg),
+		queue:    make(chan job, cfg.QueueDepth),
+		codecSem: make(map[string]chan struct{}, len(compress.Names())),
+		store:    make(map[string][]byte),
+	}
+	if s.clock == nil {
+		s.clock = obs.System()
+	}
+	// The per-codec semaphore map is fixed at construction (the codec
+	// registry is sealed after init), so workers index it without a lock.
+	for _, name := range compress.Names() {
+		s.codecSem[name] = make(chan struct{}, cfg.PerCodec)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		//lint:ignore goroutinebound workers drain the job queue until Close closes it and are joined by Close's wg.Wait; their lifetime is the server's by design
+		go s.worker()
+	}
+	return s, nil
+}
+
+// worker executes queued jobs until the queue closes. The per-codec
+// semaphore is taken inside the worker, so an expensive codec saturating
+// its limit backs work up into the queue (and ultimately into 429s)
+// instead of occupying every worker.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.met.queueDepth.Add(-1)
+		s.met.inflight.Add(1)
+		if sem := s.codecSem[j.codec]; sem != nil {
+			sem <- struct{}{}
+			j.done <- j.run()
+			<-sem
+		} else {
+			j.done <- j.run()
+		}
+		s.met.inflight.Add(-1)
+	}
+}
+
+// BeginDrain flips the server into draining mode: /healthz turns 503 and
+// new work is refused, while already-admitted requests keep executing.
+// Call it on SIGTERM before shutting the HTTP layer down, so load
+// balancers stop routing here while in-flight work completes.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops the worker pool after the queue empties. Only call it once
+// no handler can still enqueue — i.e. after BeginDrain plus an HTTP-layer
+// drain (http.Server.Shutdown) — or a racing handler panics on the closed
+// queue.
+func (s *Server) Close() {
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Handler returns the daemon's full HTTP surface: the service endpoints
+// plus the observability routes (/metrics, /debug/vars, /debug/pprof)
+// for the server's registry.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compress", s.handleCompress)
+	mux.HandleFunc("/decompress", s.handleDecompress)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	debug := obs.DebugHandler(s.reg)
+	mux.Handle("/metrics", debug)
+	mux.Handle("/debug/", debug)
+	return mux
+}
+
+// --- admission ---------------------------------------------------------
+
+// submit runs fn through the admission plane: draining refusal, bounded
+// queue with 429 backpressure, worker execution, latency recording. It
+// returns the response to write.
+func (s *Server) submit(endpoint, codec string, fn func() *response) *response {
+	if s.draining.Load() {
+		s.met.rejected("draining")
+		return errorResponse(http.StatusServiceUnavailable, "server is draining")
+	}
+	j := job{codec: codec, run: fn, done: make(chan *response, 1)}
+	select {
+	case s.queue <- j:
+		s.met.queueDepth.Add(1)
+	default:
+		s.met.rejected("queue_full")
+		r := errorResponse(http.StatusTooManyRequests, "request queue is full")
+		r.header = map[string]string{"Retry-After": strconv.Itoa(s.cfg.RetryAfterSeconds)}
+		return r
+	}
+	return <-j.done
+}
+
+// finish renders resp and books the endpoint metrics; t0 anchors the
+// latency histogram on the injected clock.
+func (s *Server) finish(w http.ResponseWriter, endpoint string, t0 time.Time, resp *response) {
+	for k, v := range resp.header {
+		w.Header().Set(k, v)
+	}
+	if resp.contentType != "" {
+		w.Header().Set("Content-Type", resp.contentType)
+	}
+	w.WriteHeader(resp.status)
+	if len(resp.body) > 0 {
+		w.Write(resp.body)
+	}
+	s.met.request(endpoint, resp.status)
+	s.met.latency(endpoint, float64(s.clock.Since(t0).Nanoseconds())/1e6)
+}
+
+func errorResponse(status int, msg string) *response {
+	return &response{status: status, contentType: "text/plain; charset=utf-8", body: []byte(msg + "\n")}
+}
+
+// readBody reads the request body under the configured cap. A too-large
+// body is a client error the admission metrics count separately.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *response) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.met.rejected("body_too_large")
+		return nil, errorResponse(http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+	}
+	return body, nil
+}
+
+// --- handlers ----------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// compressParams is the declared exchange context plus the compression
+// knobs of one /compress request.
+type compressParams struct {
+	codec     string // forced codec ("" = ask the tree)
+	blockSize int    // > 0 = CXB1 multi-block container
+	name      string // store the container under this name for GET reads
+	fileKB    float64
+	hasFileKB bool
+	ctx       core.Context
+}
+
+// parseCompressParams validates the query against the codec registry and
+// numeric domains.
+func (s *Server) parseCompressParams(r *http.Request) (compressParams, error) {
+	q := r.URL.Query()
+	p := compressParams{ctx: s.cfg.DefaultContext, name: q.Get("name")}
+	p.codec = q.Get("codec")
+	if p.codec != "" {
+		if _, err := compress.New(p.codec); err != nil {
+			return p, err
+		}
+	}
+	if v := q.Get("block_size"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return p, fmt.Errorf("block_size %q: want a positive integer", v)
+		}
+		p.blockSize = n
+	}
+	var err error
+	if p.fileKB, p.hasFileKB, err = queryFloat(q.Get("file_kb"), "file_kb"); err != nil {
+		return p, err
+	}
+	if v, ok, err := queryFloat(q.Get("ram_mb"), "ram_mb"); err != nil {
+		return p, err
+	} else if ok {
+		p.ctx.RAMMB = v
+	}
+	if v, ok, err := queryFloat(q.Get("cpu_mhz"), "cpu_mhz"); err != nil {
+		return p, err
+	} else if ok {
+		p.ctx.CPUMHz = v
+	}
+	if v, ok, err := queryFloat(q.Get("bw_mbps"), "bw_mbps"); err != nil {
+		return p, err
+	} else if ok {
+		p.ctx.BandwidthMbps = v
+	}
+	return p, nil
+}
+
+func queryFloat(v, name string) (float64, bool, error) {
+	if v == "" {
+		return 0, false, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f < 0 {
+		return 0, false, fmt.Errorf("%s %q: want a non-negative number", name, v)
+	}
+	return f, true, nil
+}
+
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	t0 := s.clock.Now()
+	if r.Method != http.MethodPost {
+		s.finish(w, "compress", t0, errorResponse(http.StatusMethodNotAllowed, "POST a sequence to /compress"))
+		return
+	}
+	p, err := s.parseCompressParams(r)
+	if err != nil {
+		s.finish(w, "compress", t0, errorResponse(http.StatusBadRequest, err.Error()))
+		return
+	}
+	body, errResp := s.readBody(w, r)
+	if errResp != nil {
+		s.finish(w, "compress", t0, errResp)
+		return
+	}
+	// Codec resolution happens before admission so the per-codec semaphore
+	// key is known; it is a pure function of (params, body, model).
+	symbols, _ := Cleanse(body)
+	if len(symbols) == 0 {
+		s.finish(w, "compress", t0, errorResponse(http.StatusBadRequest, "input contains no ACGT bases"))
+		return
+	}
+	codec, source := p.codec, "request"
+	if codec == "" {
+		ctx := p.ctx
+		ctx.FileSizeKB = float64(len(symbols)) / 1024
+		if p.hasFileKB {
+			ctx.FileSizeKB = p.fileKB
+		}
+		codec, source = s.engine.SelectCodec(ctx), "tree"
+	}
+	resp := s.submit("compress", codec, func() *response {
+		return s.doCompress(codec, source, p, symbols)
+	})
+	s.finish(w, "compress", t0, resp)
+}
+
+// doCompress is the pure work function of /compress: symbols and resolved
+// parameters in, deterministic container bytes out.
+func (s *Server) doCompress(codec, source string, p compressParams, symbols []byte) *response {
+	var (
+		container []byte
+		st        compress.Stats
+		err       error
+		blocks    int
+	)
+	if p.blockSize > 0 {
+		container, st, err = compress.BlockCompressObserved(s.reg, codec, symbols, compress.BlockOptions{BlockSize: p.blockSize})
+		blocks = (len(symbols) + p.blockSize - 1) / p.blockSize
+	} else {
+		var c compress.Codec
+		if c, err = compress.New(codec); err == nil {
+			var payload []byte
+			payload, st, err = c.Compress(symbols)
+			compress.ObserveCompress(s.reg, codec, len(symbols), len(payload), st, err)
+			if err == nil {
+				container = compress.Seal(codec, symbols, payload)
+			}
+		}
+	}
+	if err != nil {
+		return errorResponse(http.StatusUnprocessableEntity, fmt.Sprintf("compress with %s: %v", codec, err))
+	}
+	if p.name != "" {
+		if err := s.storePut(p.name, container); err != nil {
+			return errorResponse(http.StatusInsufficientStorage, err.Error())
+		}
+	}
+	s.met.selected(codec, source)
+	resp := &response{
+		status:      http.StatusOK,
+		contentType: "application/octet-stream",
+		body:        container,
+		header: map[string]string{
+			"X-Dnacomp-Codec":  codec,
+			"X-Dnacomp-Source": source,
+			"X-Dnacomp-Bases":  strconv.Itoa(len(symbols)),
+		},
+	}
+	if p.blockSize > 0 {
+		resp.header["X-Dnacomp-Blocks"] = strconv.Itoa(blocks)
+	}
+	_ = st
+	return resp
+}
+
+// rangeParams is the optional off/len window of a /decompress request.
+type rangeParams struct {
+	off, n int
+	whole  bool // no range declared: restore everything
+	hasLen bool
+}
+
+func parseRange(q map[string][]string) (rangeParams, error) {
+	get := func(k string) string {
+		if vs := q[k]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	offStr, lenStr := get("off"), get("len")
+	if offStr == "" && lenStr == "" {
+		return rangeParams{whole: true}, nil
+	}
+	p := rangeParams{}
+	var err error
+	if offStr != "" {
+		if p.off, err = strconv.Atoi(offStr); err != nil || p.off < 0 {
+			return p, fmt.Errorf("off %q: want a non-negative integer", offStr)
+		}
+	}
+	if lenStr != "" {
+		if p.n, err = strconv.Atoi(lenStr); err != nil || p.n < 0 {
+			return p, fmt.Errorf("len %q: want a non-negative integer", lenStr)
+		}
+		p.hasLen = true
+	}
+	return p, nil
+}
+
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	t0 := s.clock.Now()
+	rng, err := parseRange(r.URL.Query())
+	if err != nil {
+		s.finish(w, "decompress", t0, errorResponse(http.StatusBadRequest, err.Error()))
+		return
+	}
+	var container []byte
+	switch r.Method {
+	case http.MethodPost:
+		body, errResp := s.readBody(w, r)
+		if errResp != nil {
+			s.finish(w, "decompress", t0, errResp)
+			return
+		}
+		container = body
+	case http.MethodGet:
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			s.finish(w, "decompress", t0, errorResponse(http.StatusBadRequest,
+				"GET /decompress needs ?name= of a stored container (POST the container body otherwise)"))
+			return
+		}
+		var ok bool
+		if container, ok = s.storeGet(name); !ok {
+			s.finish(w, "decompress", t0, errorResponse(http.StatusNotFound, fmt.Sprintf("no stored container %q", name)))
+			return
+		}
+	default:
+		s.finish(w, "decompress", t0, errorResponse(http.StatusMethodNotAllowed, "POST a container or GET ?name="))
+		return
+	}
+	// The codec the container claims keys the per-codec semaphore; a
+	// corrupt header falls through to "" (no semaphore) and the worker
+	// reports the parse failure deterministically.
+	codec := containerCodec(container)
+	resp := s.submit("decompress", codec, func() *response {
+		return s.doDecompress(container, rng)
+	})
+	s.finish(w, "decompress", t0, resp)
+}
+
+// containerCodec peeks the codec name either container format records,
+// returning "" when the header is unparseable.
+func containerCodec(data []byte) string {
+	if compress.IsBlockContainer(data) {
+		if r, err := compress.OpenBlocks(data, compress.Limits{}); err == nil {
+			return r.Codec()
+		}
+		return ""
+	}
+	if fr, err := compress.Open(data); err == nil {
+		return fr.Codec
+	}
+	return ""
+}
+
+// doDecompress is the pure work function of /decompress: container bytes
+// and a validated range in, restored ASCII bases out. Untrusted bytes
+// reach codecs only through SafeDecompressAny / OpenBlocksObserved, so
+// every hostile-input property of the hardened decode layer holds here.
+func (s *Server) doDecompress(container []byte, rng rangeParams) *response {
+	var (
+		symbols []byte
+		bases   int
+		codec   string
+		err     error
+	)
+	switch {
+	case rng.whole:
+		var st compress.Stats
+		symbols, st, err = compress.SafeDecompressAny("", container, s.cfg.Limits)
+		if err == nil {
+			bases = len(symbols)
+			codec = containerCodec(container)
+			compress.ObserveDecompress(s.reg, codec, len(container), len(symbols), st, nil)
+		}
+	case compress.IsBlockContainer(container):
+		// Range over a multi-block container: only overlapping blocks are
+		// decoded (BlockReader.Slice), the whole point of serving CXB1.
+		var r *compress.BlockReader
+		r, err = compress.OpenBlocksObserved(s.reg, container, s.cfg.Limits)
+		if err == nil {
+			bases, codec = r.Bases(), r.Codec()
+			off, n, rerr := resolveRange(rng, bases)
+			if rerr != nil {
+				return errorResponse(http.StatusRequestedRangeNotSatisfiable, rerr.Error())
+			}
+			symbols, _, err = r.Slice(off, n)
+		}
+	default:
+		// Range over a single frame: restore fully, then window in memory.
+		var st compress.Stats
+		symbols, st, err = compress.SafeDecompressAny("", container, s.cfg.Limits)
+		if err == nil {
+			bases = len(symbols)
+			codec = containerCodec(container)
+			compress.ObserveDecompress(s.reg, codec, len(container), len(symbols), st, nil)
+			off, n, rerr := resolveRange(rng, bases)
+			if rerr != nil {
+				return errorResponse(http.StatusRequestedRangeNotSatisfiable, rerr.Error())
+			}
+			symbols = symbols[off : off+n]
+		}
+	}
+	if err != nil {
+		return errorResponse(http.StatusUnprocessableEntity, fmt.Sprintf("decompress: %v", err))
+	}
+	header := map[string]string{
+		"X-Dnacomp-Bases": strconv.Itoa(bases),
+	}
+	if codec != "" {
+		header["X-Dnacomp-Codec"] = codec
+	}
+	if !rng.whole {
+		off, n, _ := resolveRange(rng, bases)
+		header["X-Dnacomp-Range"] = fmt.Sprintf("%d:%d", off, n)
+	}
+	return &response{
+		status:      http.StatusOK,
+		contentType: "text/plain; charset=utf-8",
+		header:      header,
+		body:        seq.Decode(symbols),
+	}
+}
+
+// resolveRange bounds-checks the declared window against the restored
+// symbol count; a missing len means "to the end".
+func resolveRange(rng rangeParams, bases int) (off, n int, err error) {
+	off, n = rng.off, rng.n
+	if !rng.hasLen {
+		n = bases - off
+	}
+	if off > bases || n < 0 || off+n > bases {
+		return 0, 0, fmt.Errorf("range [%d, %d+%d) outside [0, %d)", off, off, n, bases)
+	}
+	return off, n, nil
+}
+
+// --- named-container store --------------------------------------------
+
+// storePut retains container under name for later GET range reads.
+// Overwriting an existing name is allowed (idempotent re-uploads); new
+// names beyond the cap are refused so a client cannot grow the daemon's
+// memory without bound.
+func (s *Server) storePut(name string, container []byte) error {
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	if _, exists := s.store[name]; !exists && len(s.store) >= s.cfg.MaxStored {
+		return fmt.Errorf("container store is full (%d names)", s.cfg.MaxStored)
+	}
+	s.store[name] = container
+	return nil
+}
+
+func (s *Server) storeGet(name string) ([]byte, bool) {
+	s.storeMu.RLock()
+	defer s.storeMu.RUnlock()
+	c, ok := s.store[name]
+	return c, ok
+}
+
+// Cleanse converts request body text — FASTA or raw base text, any case,
+// with headers/whitespace/non-ACGT stripped — into the symbol codes the
+// codecs consume. It is the same cleansing the CLI applies before
+// single-sequence experiments.
+func Cleanse(raw []byte) ([]byte, seq.CleanStats) {
+	cl := seq.Cleanser{}
+	if isFASTA(raw) {
+		if seqs, st, err := cl.CleanFASTA(bytes.NewReader(raw)); err == nil {
+			var all []byte
+			for _, s := range seqs {
+				all = append(all, s...)
+			}
+			return all, st
+		}
+	}
+	return cl.Clean(raw)
+}
+
+func isFASTA(raw []byte) bool {
+	for _, b := range raw {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		return b == '>'
+	}
+	return false
+}

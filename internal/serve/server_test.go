@@ -1,0 +1,510 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/srl-nuces/ctxdna/internal/compress"
+	"github.com/srl-nuces/ctxdna/internal/core"
+	"github.com/srl-nuces/ctxdna/internal/obs"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+
+	_ "github.com/srl-nuces/ctxdna/internal/compress/gzipx"
+	_ "github.com/srl-nuces/ctxdna/internal/compress/twobit"
+)
+
+// testEngine trains one small selection model for the whole test binary:
+// the same TrainEngine path cmd/dnacompd falls back to, shrunk to a
+// six-file corpus over the two cheapest codecs.
+var (
+	engineOnce sync.Once
+	engine     *core.InferenceEngine
+	engineErr  error
+)
+
+func testEngine(t *testing.T) *core.InferenceEngine {
+	t.Helper()
+	engineOnce.Do(func() {
+		engine, engineErr = TrainEngine(
+			synth.CorpusSpec{NumFiles: 6, MinSize: 2 << 10, MaxSize: 16 << 10, Seed: 7},
+			"cart",
+			[]string{"gzip", "twobit"},
+		)
+	})
+	if engineErr != nil {
+		t.Fatalf("training test engine: %v", engineErr)
+	}
+	return engine
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Engine == nil {
+		cfg.Engine = testEngine(t)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close() // drains in-flight handlers first...
+		s.Close()  // ...so closing the queue cannot race an enqueue
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func synthASCII(n int, seed int64) []byte {
+	return synth.Profile{Length: n, GC: 0.42, RepeatProb: 0.004, RepeatMin: 16, RepeatMax: 64}.GenerateASCII(seed)
+}
+
+// TestCompressRoundTripE2E is the issue's end-to-end criterion: POST a
+// synthetic sequence with a declared context, check the daemon's codec
+// choice matches the offline engine's answer for the same context, and
+// check the returned frame restores the input byte-for-byte.
+func TestCompressRoundTripE2E(t *testing.T) {
+	eng := testEngine(t)
+	_, ts := newTestServer(t, Config{})
+
+	input := synthASCII(6000, 42)
+	declared := core.Context{RAMMB: 2048, CPUMHz: 2100, BandwidthMbps: 5}
+
+	resp, frame := post(t, fmt.Sprintf("%s/compress?ram_mb=%g&cpu_mhz=%g&bw_mbps=%g",
+		ts.URL, declared.RAMMB, declared.CPUMHz, declared.BandwidthMbps), input)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: HTTP %d: %s", resp.StatusCode, frame)
+	}
+
+	// Offline answer for the same features the daemon derives.
+	offline := declared
+	offline.FileSizeKB = float64(len(input)) / 1024
+	if want, got := eng.SelectCodec(offline), resp.Header.Get("X-Dnacomp-Codec"); got != want {
+		t.Errorf("daemon chose %q, offline engine chose %q", got, want)
+	}
+	if src := resp.Header.Get("X-Dnacomp-Source"); src != "tree" {
+		t.Errorf("X-Dnacomp-Source = %q, want tree", src)
+	}
+
+	resp, restored := post(t, ts.URL+"/decompress", frame)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress: HTTP %d: %s", resp.StatusCode, restored)
+	}
+	if !bytes.Equal(restored, input) {
+		t.Fatalf("round trip not byte-identical: %d bases in, %d out", len(input), len(restored))
+	}
+}
+
+// TestRangeGetEqualsFullDecodeSlice: a range GET over a stored CXB1
+// container must equal the same slice of the full decode.
+func TestRangeGetEqualsFullDecodeSlice(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	input := synthASCII(5000, 99)
+	resp, frame := post(t, ts.URL+"/compress?block_size=512&name=rt", input)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: HTTP %d: %s", resp.StatusCode, frame)
+	}
+	if resp.Header.Get("X-Dnacomp-Blocks") == "" {
+		t.Error("block-mode response missing X-Dnacomp-Blocks")
+	}
+
+	resp, full := post(t, ts.URL+"/decompress", frame)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full decompress: HTTP %d: %s", resp.StatusCode, full)
+	}
+	if !bytes.Equal(full, input) {
+		t.Fatal("full decode differs from input")
+	}
+
+	for _, w := range []struct{ off, n int }{{0, 100}, {511, 2}, {1234, 999}, {4990, 10}} {
+		resp, window := get(t, fmt.Sprintf("%s/decompress?name=rt&off=%d&len=%d", ts.URL, w.off, w.n))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("range GET [%d,+%d): HTTP %d: %s", w.off, w.n, resp.StatusCode, window)
+		}
+		if want := full[w.off : w.off+w.n]; !bytes.Equal(window, want) {
+			t.Errorf("range GET [%d,+%d) differs from the same slice of the full decode", w.off, w.n)
+		}
+	}
+
+	// Open-ended range: off only reads to the end.
+	resp, tail := get(t, ts.URL+"/decompress?name=rt&off=4000")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("open-ended range: HTTP %d: %s", resp.StatusCode, tail)
+	}
+	if !bytes.Equal(tail, full[4000:]) {
+		t.Error("open-ended range differs from full[4000:]")
+	}
+}
+
+// TestForcedCodec: ?codec= bypasses the tree and is reported as such.
+func TestForcedCodec(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	input := synthASCII(1200, 3)
+
+	resp, frame := post(t, ts.URL+"/compress?codec=twobit", input)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, frame)
+	}
+	if c := resp.Header.Get("X-Dnacomp-Codec"); c != "twobit" {
+		t.Errorf("codec = %q, want twobit", c)
+	}
+	if src := resp.Header.Get("X-Dnacomp-Source"); src != "request" {
+		t.Errorf("source = %q, want request", src)
+	}
+	resp, restored := post(t, ts.URL+"/decompress", frame)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(restored, input) {
+		t.Fatalf("forced-codec round trip failed: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestDeterministicResponses: identical requests produce byte-identical
+// containers — the purity contract of the handlers.
+func TestDeterministicResponses(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	input := synthASCII(3000, 8)
+	_, first := post(t, ts.URL+"/compress?codec=gzip", input)
+	_, second := post(t, ts.URL+"/compress?codec=gzip", input)
+	if !bytes.Equal(first, second) {
+		t.Fatal("same request produced different container bytes")
+	}
+}
+
+// TestFASTAInput: the daemon cleanses FASTA bodies like the CLI does.
+func TestFASTAInput(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	fasta := []byte(">chr1 test\nACGTAC\nGTACGT\n>chr2\nTTTTAAAA\n")
+	resp, frame := post(t, ts.URL+"/compress?codec=twobit", fasta)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, frame)
+	}
+	resp, restored := post(t, ts.URL+"/decompress", frame)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, restored)
+	}
+	if got, want := string(restored), "ACGTACGTACGTTTTTAAAA"; got != want {
+		t.Fatalf("FASTA round trip = %q, want %q", got, want)
+	}
+}
+
+// TestClientErrorPaths covers the 4xx surface.
+func TestClientErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1 << 20})
+	input := synthASCII(800, 5)
+	_, frame := post(t, ts.URL+"/compress?codec=twobit&block_size=128&name=err", input)
+
+	cases := []struct {
+		name   string
+		method string
+		url    string
+		body   []byte
+		want   int
+	}{
+		{"unknown codec", "POST", "/compress?codec=nope", input, http.StatusBadRequest},
+		{"bad block_size", "POST", "/compress?block_size=-4", input, http.StatusBadRequest},
+		{"bad ram_mb", "POST", "/compress?ram_mb=lots", input, http.StatusBadRequest},
+		{"empty input", "POST", "/compress", []byte(">header only\n"), http.StatusBadRequest},
+		{"compress wrong method", "GET", "/compress", nil, http.StatusMethodNotAllowed},
+		{"garbage container", "POST", "/decompress", []byte("not a frame"), http.StatusUnprocessableEntity},
+		{"bad off", "POST", "/decompress?off=-1", frame, http.StatusBadRequest},
+		{"range past end", "POST", "/decompress?off=0&len=999999", frame, http.StatusRequestedRangeNotSatisfiable},
+		{"offset past end", "POST", "/decompress?off=999999", frame, http.StatusRequestedRangeNotSatisfiable},
+		{"get without name", "GET", "/decompress", nil, http.StatusBadRequest},
+		{"get unknown name", "GET", "/decompress?name=missing", nil, http.StatusNotFound},
+		{"decompress wrong method", "DELETE", "/decompress", nil, http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.url, bytes.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: HTTP %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, strings.TrimSpace(string(body)))
+		}
+	}
+}
+
+// TestBodyTooLarge: the body cap answers 413 and books a rejection.
+func TestBodyTooLarge(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1024, Registry: reg})
+	resp, _ := post(t, ts.URL+"/compress", bytes.Repeat([]byte("ACGT"), 4096))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("HTTP %d, want 413", resp.StatusCode)
+	}
+	if n := reg.Counter("dna_serve_rejected_total", "", "reason", "body_too_large").Value(); n == 0 {
+		t.Error("rejection not counted")
+	}
+}
+
+// gateCodec registers a codec whose name exists purely so white-box tests
+// can key the per-codec semaphore; its encode/decode are never invoked.
+type gateCodec struct{}
+
+func (gateCodec) Name() string { return "gatetest" }
+func (gateCodec) Compress(src []byte) ([]byte, compress.Stats, error) {
+	return append([]byte(nil), src...), compress.Stats{}, nil
+}
+func (gateCodec) Decompress(data []byte) ([]byte, compress.Stats, error) {
+	return append([]byte(nil), data...), compress.Stats{}, nil
+}
+
+var gateOnce sync.Once
+
+func registerGateCodec() {
+	gateOnce.Do(func() {
+		compress.Register("gatetest", func() compress.Codec { return gateCodec{} })
+	})
+}
+
+func okResponse() *response { return &response{status: http.StatusOK} }
+
+// TestQueueFullAnswers429: with one worker pinned and the one-slot queue
+// occupied, the next submission must be refused with 429 + Retry-After —
+// backpressure, not a silent drop.
+func TestQueueFullAnswers429(t *testing.T) {
+	registerGateCodec()
+	reg := obs.NewRegistry()
+	s, err := NewServer(Config{Engine: testEngine(t), Workers: 1, QueueDepth: 1, Registry: reg, RetryAfterSeconds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	release := func() *response { return okResponse() }
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // occupies the single worker
+		defer wg.Done()
+		s.submit("compress", "gatetest", func() *response {
+			close(started)
+			<-gate
+			return okResponse()
+		})
+	}()
+	<-started
+	go func() { // occupies the single queue slot
+		defer wg.Done()
+		s.submit("compress", "gatetest", release)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second job never entered the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := s.submit("compress", "gatetest", release)
+	if resp.status != http.StatusTooManyRequests {
+		t.Fatalf("third submission got %d, want 429", resp.status)
+	}
+	if ra := resp.header["Retry-After"]; ra != "3" {
+		t.Errorf("Retry-After = %q, want 3", ra)
+	}
+	if n := reg.Counter("dna_serve_rejected_total", "", "reason", "queue_full").Value(); n != 1 {
+		t.Errorf("queue_full rejections = %d, want 1", n)
+	}
+
+	close(gate)
+	wg.Wait()
+	s.Close()
+}
+
+// TestPerCodecLimit: with PerCodec=1, a second job for the same codec
+// waits on the semaphore while a different codec still gets a worker.
+func TestPerCodecLimit(t *testing.T) {
+	registerGateCodec()
+	s, err := NewServer(Config{Engine: testEngine(t), Workers: 3, PerCodec: 1, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	first := make(chan struct{})
+	second := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s.submit("compress", "gatetest", func() *response {
+			close(first)
+			<-gate
+			return okResponse()
+		})
+	}()
+	<-first
+	go func() {
+		defer wg.Done()
+		s.submit("compress", "gatetest", func() *response {
+			close(second)
+			<-gate
+			return okResponse()
+		})
+	}()
+
+	// A different codec must not be starved by gatetest's semaphore.
+	done := make(chan *response, 1)
+	go func() { done <- s.submit("compress", "twobit", okResponse) }()
+	select {
+	case r := <-done:
+		if r.status != http.StatusOK {
+			t.Fatalf("other-codec job got %d", r.status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("other-codec job starved behind the gatetest semaphore")
+	}
+
+	// The same codec must still be held back.
+	select {
+	case <-second:
+		t.Fatal("second gatetest job ran while the first held the PerCodec=1 semaphore")
+	default:
+	}
+
+	close(gate)
+	<-second // now it may proceed
+	wg.Wait()
+	s.Close()
+}
+
+// TestDrainRefusesNewWork: BeginDrain turns /healthz 503 and refuses new
+// submissions while letting the registered refusal metric show up.
+func TestDrainRefusesNewWork(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, ts := newTestServer(t, Config{Registry: reg})
+
+	resp, _ := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: HTTP %d", resp.StatusCode)
+	}
+
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() false after BeginDrain")
+	}
+	resp, _ = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: HTTP %d, want 503", resp.StatusCode)
+	}
+	resp, body := post(t, ts.URL+"/compress", synthASCII(500, 1))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("compress during drain: HTTP %d (%s), want 503", resp.StatusCode, body)
+	}
+	if n := reg.Counter("dna_serve_rejected_total", "", "reason", "draining").Value(); n == 0 {
+		t.Error("draining rejection not counted")
+	}
+}
+
+// TestMetricsExposed: the daemon's own /metrics route serves the request
+// counters and latency histograms the issue requires.
+func TestMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/compress?codec=twobit", synthASCII(600, 2))
+
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"dna_serve_requests_total",
+		"dna_serve_latency_ms",
+		"dna_serve_codec_selected_total",
+		"dna_serve_queue_depth",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestStoreBounded: the named-container store refuses new names past the
+// cap (507) but allows idempotent overwrites.
+func TestStoreBounded(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxStored: 2})
+	input := synthASCII(400, 6)
+
+	for _, name := range []string{"a", "b"} {
+		resp, body := post(t, ts.URL+"/compress?codec=twobit&name="+name, input)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("store %s: HTTP %d (%s)", name, resp.StatusCode, body)
+		}
+	}
+	resp, _ := post(t, ts.URL+"/compress?codec=twobit&name=c", input)
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("third name: HTTP %d, want 507", resp.StatusCode)
+	}
+	resp, _ = post(t, ts.URL+"/compress?codec=twobit&name=a", input) // overwrite
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("overwrite: HTTP %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestModelRoundTrip: LoadModel reads back what ctxselect-style JSON
+// persistence wrote, and the engines agree on every grid corner.
+func TestModelRoundTrip(t *testing.T) {
+	eng := testEngine(t)
+	path := t.TempDir() + "/model.json"
+	if err := SaveModel(path, eng); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctx := range []core.Context{
+		{FileSizeKB: 2, RAMMB: 768, CPUMHz: 1000, BandwidthMbps: 2},
+		{FileSizeKB: 64, RAMMB: 3584, CPUMHz: 2400, BandwidthMbps: 10},
+		{FileSizeKB: 512, RAMMB: 7168, CPUMHz: 3000, BandwidthMbps: 20},
+	} {
+		if got, want := loaded.SelectCodec(ctx), eng.SelectCodec(ctx); got != want {
+			t.Errorf("loaded model picks %q, original %q for %+v", got, want, ctx)
+		}
+	}
+}
