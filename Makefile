@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-fix-check test race fuzz-smoke chaos corruption blocks bench-json obs-smoke serve fmt verify
+.PHONY: all build lint lint-fix-check test race fuzz-smoke chaos corruption blocks bench-json obs-smoke serve fleet fmt verify
 
 all: build
 
@@ -73,6 +73,9 @@ bench-json:
 bench-json-server:
 	$(GO) run ./cmd/benchjson -suite server -o BENCH_8.json
 
+bench-json-fleet:
+	$(GO) run ./cmd/benchjson -suite fleet -o BENCH_9.json
+
 # Serving gate: the daemon and debug-server tests under the race detector
 # (admission control, graceful drain, reader contracts, expvar remount,
 # synchronous pprof bind), then a deterministic load-generator smoke
@@ -92,6 +95,16 @@ serve:
 # exactly (same seed => byte-identical reports).
 chaos:
 	$(GO) test ./internal/cloud -race -count=2 -run 'Faulty|Exchange|Backoff'
+
+# Fleet gate: the sharded-store fleet under -race — ring placement,
+# replication and quorums, breaker state machine, degraded-error
+# attribution, and the fleet chaos suite run twice to prove the seeded
+# shard kills reproduce byte-identical exchange reports; then the serve
+# layer's fleet-backed store, Retry-After backpressure contract and the
+# drain goroutine-leak check while a shard flaps.
+fleet:
+	$(GO) test ./internal/cloud -race -count=2 -run 'Fleet'
+	$(GO) test ./internal/serve -race -run 'Fleet|RetryAfter|Drain'
 
 # Observability gate: a tiny grid with metrics + trace export enabled must
 # emit well-formed Prometheus text (codec, cache and grid families) and a
@@ -113,4 +126,4 @@ obs-smoke:
 fmt:
 	gofmt -w .
 
-verify: lint build race chaos corruption blocks obs-smoke serve
+verify: lint build race chaos corruption blocks fleet obs-smoke serve

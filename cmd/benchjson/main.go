@@ -19,6 +19,12 @@
 // fails the snapshot. Absolute numbers are hardware-dependent; the
 // recorded shapes (jobs scaling, seek vs full decode, latency vs
 // concurrency) are the comparison targets across PRs.
+//
+// The fleet suite sweeps the block exchange loop across replicated shard
+// fleets (shards x replication), each shard carrying a seeded transient
+// fault schedule, plus one degraded step with a replica shard killed
+// outright — measuring what replication, quorum writes and failover reads
+// cost on top of the single-store exchange.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/srl-nuces/ctxdna/internal/cloud"
 	"github.com/srl-nuces/ctxdna/internal/compress"
 	"github.com/srl-nuces/ctxdna/internal/obs"
 	"github.com/srl-nuces/ctxdna/internal/serve"
@@ -243,10 +250,93 @@ func runServer(units int, seed int64) (Doc, error) {
 	return doc, nil
 }
 
+// runFleet sweeps the block exchange loop across shard-fleet shapes. Each
+// step builds a fresh fleet (per-shard seeded transient faults at rate 0.1)
+// and exchanges the same sequence through it; the degraded step also kills
+// one replica of the blob outright, so the loop pays breaker fast-fails and
+// failover reads. A lost round trip fails the snapshot — the suite times
+// fault tolerance, it does not tolerate data loss.
+func runFleet(bases, blockSize int, seed uint64) (Doc, error) {
+	doc := Doc{
+		Schema:     "ctxdna-bench/v1",
+		Suite:      "fleet-exchange",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Codec:      "dnax",
+		Bases:      bases,
+		BlockSize:  blockSize,
+	}
+	p := synth.Profile{Length: bases, GC: 0.42, RepeatProb: 0.0015, RepeatMin: 20, RepeatMax: 400}
+	src := p.Generate(61)
+	client := cloud.Grid()[0]
+
+	steps := []struct {
+		shards, repl int
+		degraded     bool
+	}{
+		{4, 2, false},
+		{8, 3, false},
+		{16, 3, false},
+		{8, 3, true},
+	}
+	for _, step := range steps {
+		newFleet := func() (*cloud.Fleet, error) {
+			f, err := cloud.NewFleet(cloud.FleetConfig{
+				Shards:      cloud.DefaultShardSpecs(step.shards, 0.1, seed),
+				Replication: step.repl,
+				Seed:        seed,
+				Registry:    obs.NewRegistry(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if step.degraded {
+				f.Kill(f.Replicas("exchange", "bench.cxb1")[0])
+			}
+			return f, nil
+		}
+		exchange := func(f *cloud.Fleet) error {
+			_, err := cloud.ExchangeBlocks(context.Background(), client, f, "dnax", src, cloud.BlockExchangeOptions{
+				ExchangeOptions: cloud.ExchangeOptions{Blob: "bench", Cleanup: true},
+				Block:           compress.BlockOptions{BlockSize: blockSize},
+			})
+			return err
+		}
+		// Correctness gate before timing: the exchange must round-trip on
+		// this fleet shape, degraded or not.
+		f, err := newFleet()
+		if err != nil {
+			return doc, err
+		}
+		if err := exchange(f); err != nil {
+			return doc, fmt.Errorf("shards=%d repl=%d degraded=%v: %w", step.shards, step.repl, step.degraded, err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				f, err := newFleet() // fresh breaker/version state per iteration
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := exchange(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		name := fmt.Sprintf("fleet_exchange/shards=%d,repl=%d", step.shards, step.repl)
+		if step.degraded {
+			name += ",degraded"
+		}
+		doc.Records = append(doc.Records, record(name, bases, r))
+	}
+	return doc, nil
+}
+
 func main() {
 	var (
 		out       = flag.String("o", "", "output path (default stdout)")
-		suite     = flag.String("suite", "block-engine", "suite to run: block-engine or server")
+		suite     = flag.String("suite", "block-engine", "suite to run: block-engine, server or fleet")
 		codecName = flag.String("codec", "dnax", "codec to benchmark (block-engine suite)")
 		bases     = flag.Int("bases", 1<<20, "sequence length in bases (block-engine suite)")
 		blockSize = flag.Int("block-size", 64<<10, "block size in bases (block-engine suite)")
@@ -263,8 +353,10 @@ func main() {
 		doc, err = run(*codecName, *bases, *blockSize)
 	case "server":
 		doc, err = runServer(*units, *seed)
+	case "fleet":
+		doc, err = runFleet(256<<10, *blockSize, uint64(*seed))
 	default:
-		err = fmt.Errorf("unknown -suite %q: want block-engine or server", *suite)
+		err = fmt.Errorf("unknown -suite %q: want block-engine, server or fleet", *suite)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -42,6 +42,43 @@ func TestRunSmall(t *testing.T) {
 	}
 }
 
+// TestRunFleetSmall runs the fleet-exchange suite on a tiny input: every
+// fleet shape must round-trip (the degraded step included) and land one
+// record, again shape-checked rather than timed.
+func TestRunFleetSmall(t *testing.T) {
+	if f := flag.Lookup("test.benchtime"); f != nil {
+		old := f.Value.String()
+		if err := f.Value.Set("2x"); err != nil {
+			t.Fatal(err)
+		}
+		defer f.Value.Set(old)
+	}
+	doc, err := runFleet(2048, 512, 2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Suite != "fleet-exchange" {
+		t.Fatalf("bad doc header: %+v", doc)
+	}
+	want := []string{
+		"fleet_exchange/shards=4,repl=2",
+		"fleet_exchange/shards=8,repl=3",
+		"fleet_exchange/shards=16,repl=3",
+		"fleet_exchange/shards=8,repl=3,degraded",
+	}
+	if len(doc.Records) != len(want) {
+		t.Fatalf("%d records, want %d: %+v", len(doc.Records), len(want), doc.Records)
+	}
+	for i, rec := range doc.Records {
+		if rec.Name != want[i] {
+			t.Errorf("record %d is %q, want %q", i, rec.Name, want[i])
+		}
+		if rec.N <= 0 || rec.NsPerOp <= 0 {
+			t.Errorf("%s: empty measurement %+v", rec.Name, rec)
+		}
+	}
+}
+
 // TestRecordThroughput: MB/s is derived from processed bytes per op.
 func TestRecordThroughput(t *testing.T) {
 	r := testing.BenchmarkResult{N: 10, T: time.Second}

@@ -30,6 +30,15 @@
 //
 //	dnacomp -exchange -codec dnax -fault-rate 0.3 -retries 8 seq.fa
 //
+// With -fleet N the exchange runs against a replicated shard fleet instead
+// of a single store: blobs are placed on a consistent-hash ring, written to
+// -fleet-replication distinct shards, and read back through quorum with
+// health-aware failover, so the loop survives per-shard faults. The fault
+// rate then applies per shard (each with its own seeded schedule) rather
+// than wrapping one store:
+//
+//	dnacomp -exchange -codec dnax -fleet 5 -fleet-replication 3 -fault-rate 0.2 seq.fa
+//
 // Block mode splits the input into fixed-size blocks compressed through a
 // bounded worker pool into one seekable multi-block container (CXB1); -seek
 // then decodes just a symbol range, touching only the overlapping blocks:
@@ -88,6 +97,8 @@ func main() {
 		faultRate  = flag.Float64("fault-rate", 0, "transient-fault probability per storage op in exchange mode")
 		retries    = flag.Int("retries", cloud.DefaultRetryPolicy().MaxRetries, "retry budget per storage op in exchange mode")
 		faultSeed  = flag.Uint64("fault-seed", 2015, "seed for the fault schedule and retry jitter in exchange mode")
+		fleetSize  = flag.Int("fleet", 0, "exchange against a replicated fleet of this many shards (0 = single store)")
+		fleetRepl  = flag.Int("fleet-replication", 0, "replicas per blob in fleet exchange (0 = fleet default)")
 		blockSize  = flag.Int("block-size", 0, "compress into a seekable multi-block container with this block size in bases (0 = single frame)")
 		seekSpec   = flag.String("seek", "", "with -d on a multi-block container: decode only off:len symbols, touching only overlapping blocks")
 		metricsOut = flag.String("metrics", "", "write a Prometheus text metrics snapshot to this file on exit (- for stderr)")
@@ -95,7 +106,7 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
-	if err := validateFlags(*faultRate, *retries, *blockSize, *seekSpec, *decompress); err != nil {
+	if err := validateFlags(*faultRate, *retries, *blockSize, *seekSpec, *decompress, *fleetSize, *fleetRepl); err != nil {
 		fmt.Fprintln(os.Stderr, "dnacomp:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -125,7 +136,7 @@ func main() {
 	var err error
 	switch {
 	case *exchange:
-		err = runExchange(ctx, *codecName, *faultRate, *retries, *faultSeed, *blockSize, *quiet, flag.Args())
+		err = runExchange(ctx, *codecName, *faultRate, *retries, *faultSeed, *blockSize, *fleetSize, *fleetRepl, *quiet, flag.Args())
 	case *batch:
 		err = runBatch(*codecName, *decompress, *output, *quiet, *jobs, flag.Args())
 	default:
@@ -178,7 +189,7 @@ func writeFileWith(path string, write func(io.Writer) error) error {
 // is a probability, and a negative retry budget has no meaning. Failing
 // fast with a usage error beats a fault schedule that silently never fires
 // or a retry loop with undefined bounds.
-func validateFlags(faultRate float64, retries, blockSize int, seekSpec string, decompress bool) error {
+func validateFlags(faultRate float64, retries, blockSize int, seekSpec string, decompress bool, fleetSize, fleetRepl int) error {
 	if faultRate < 0 || faultRate > 1 {
 		return fmt.Errorf("-fault-rate %v is not a probability: must be in [0,1]", faultRate)
 	}
@@ -187,6 +198,21 @@ func validateFlags(faultRate float64, retries, blockSize int, seekSpec string, d
 	}
 	if blockSize < 0 {
 		return fmt.Errorf("-block-size %d is negative: must be >= 0 (0 = single frame)", blockSize)
+	}
+	if fleetSize < 0 {
+		return fmt.Errorf("-fleet %d is negative: must be >= 0 (0 = single store)", fleetSize)
+	}
+	if fleetRepl < 0 {
+		return fmt.Errorf("-fleet-replication %d is negative: must be >= 0 (0 = fleet default)", fleetRepl)
+	}
+	if fleetRepl > 0 && fleetSize == 0 {
+		return fmt.Errorf("-fleet-replication needs -fleet: there is no fleet to replicate across")
+	}
+	if fleetRepl > fleetSize {
+		return fmt.Errorf("-fleet-replication %d exceeds -fleet %d: a blob cannot have more replicas than shards", fleetRepl, fleetSize)
+	}
+	if fleetSize > 0 && faultRate >= 1 {
+		return fmt.Errorf("-fault-rate %v with -fleet must be in [0,1): rate 1 makes every shard fail every op", faultRate)
 	}
 	if seekSpec != "" {
 		if !decompress {
@@ -278,9 +304,11 @@ func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
 // runExchange pushes the cleansed input through the full exchange loop —
 // compress on a modeled lab client, upload to (optionally fault-injected)
 // BLOB storage, download at the datacenter, decompress and verify — and
-// reports the modeled stage times and the retry trace. ctx carries the
-// tracer when -trace is set; metrics go to the default registry.
-func runExchange(ctx context.Context, codecName string, faultRate float64, retries int, faultSeed uint64, blockSize int, quiet bool, args []string) error {
+// reports the modeled stage times and the retry trace. With fleetSize > 0
+// the store is a replicated shard fleet and the fault rate applies per
+// shard instead of wrapping a single store. ctx carries the tracer when
+// -trace is set; metrics go to the default registry.
+func runExchange(ctx context.Context, codecName string, faultRate float64, retries int, faultSeed uint64, blockSize, fleetSize, fleetRepl int, quiet bool, args []string) error {
 	in, name, err := openInput(args)
 	if err != nil {
 		return err
@@ -295,9 +323,28 @@ func runExchange(ctx context.Context, codecName string, faultRate float64, retri
 		return fmt.Errorf("input contains no ACGT bases")
 	}
 
-	var store cloud.Store = cloud.NewBlobStore()
-	if faultRate > 0 {
-		store = cloud.NewFaultyStore(store, cloud.FaultConfig{Rate: faultRate, Seed: faultSeed})
+	var store cloud.Store
+	var fleet *cloud.Fleet
+	if fleetSize > 0 {
+		// Fleet mode: each shard carries its own seeded fault schedule, so a
+		// transient failure on one replica fails over instead of failing the
+		// op. The registry is the process default so -metrics snapshots the
+		// dna_fleet_* health series.
+		fleet, err = cloud.NewFleet(cloud.FleetConfig{
+			Shards:      cloud.DefaultShardSpecs(fleetSize, faultRate, faultSeed),
+			Replication: fleetRepl,
+			Seed:        faultSeed,
+			Registry:    obs.Default(),
+		})
+		if err != nil {
+			return fmt.Errorf("building fleet: %w", err)
+		}
+		store = fleet
+	} else {
+		store = cloud.NewBlobStore()
+		if faultRate > 0 {
+			store = cloud.NewFaultyStore(store, cloud.FaultConfig{Rate: faultRate, Seed: faultSeed})
+		}
 	}
 	policy := cloud.DefaultRetryPolicy()
 	policy.MaxRetries = retries
@@ -337,6 +384,15 @@ func runExchange(ctx context.Context, codecName string, faultRate float64, retri
 			rep.CompressMS, rep.UploadMS, rep.DownloadMS, rep.DecompressMS, rep.RetryWaitMS, rep.TotalTimeMS())
 		for _, tr := range rep.Traces {
 			fmt.Fprintf(os.Stderr, "dnacomp: %s: %d attempt(s)\n", tr.Op, tr.Attempts)
+		}
+		if fleet != nil {
+			fr := fleet.Report()
+			fmt.Fprintf(os.Stderr, "dnacomp: fleet: %d shard(s), replication %d (write quorum %d, read quorum %d)\n",
+				len(fr.Shards), fr.Replication, fr.WriteQuorum, fr.ReadQuorum)
+			for _, sh := range fr.Shards {
+				fmt.Fprintf(os.Stderr, "dnacomp: fleet: %s: %s, %d op(s), %d failure(s), error ewma %.3f, modeled %.1f ms\n",
+					sh.Name, sh.State, sh.Ops, sh.Failures, sh.ErrorEWMA, sh.ModeledMS)
+			}
 		}
 		fmt.Fprintln(os.Stderr, "dnacomp: round trip verified byte-identical")
 	}

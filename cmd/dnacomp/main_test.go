@@ -174,7 +174,7 @@ func TestValidateFlags(t *testing.T) {
 		{0, 0, 0, "10", true, false}, {0, 0, 0, "-1:5", true, false},
 		{0, 0, 0, "a:b", true, false}, {0, 0, 0, "5:-1", true, false},
 	} {
-		err := validateFlags(tc.rate, tc.retries, tc.blockSize, tc.seek, tc.decompress)
+		err := validateFlags(tc.rate, tc.retries, tc.blockSize, tc.seek, tc.decompress, 0, 0)
 		if (err == nil) != tc.ok {
 			t.Errorf("validateFlags(%v, %d, %d, %q, %v) = %v, want ok=%v",
 				tc.rate, tc.retries, tc.blockSize, tc.seek, tc.decompress, err, tc.ok)
@@ -242,10 +242,10 @@ func TestBlockContainerRoundTripCLI(t *testing.T) {
 func TestExchangeModeBlocks(t *testing.T) {
 	p := synth.Profile{Length: 3000, GC: 0.5}
 	in := writeTemp(t, "seq.txt", p.GenerateASCII(52))
-	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, 512, true, []string{in}); err != nil {
+	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, 512, 0, 0, true, []string{in}); err != nil {
 		t.Fatalf("clean block exchange: %v", err)
 	}
-	if err := runExchange(context.Background(), "dnax", 0.3, 8, 2015, 512, true, []string{in}); err != nil {
+	if err := runExchange(context.Background(), "dnax", 0.3, 8, 2015, 512, 0, 0, true, []string{in}); err != nil {
 		t.Fatalf("faulty block exchange at 30%%: %v", err)
 	}
 }
@@ -377,21 +377,61 @@ func TestErrors(t *testing.T) {
 func TestExchangeMode(t *testing.T) {
 	p := synth.Profile{Length: 3000, GC: 0.5, RepeatProb: 0.002, RepeatMin: 20, RepeatMax: 100}
 	in := writeTemp(t, "seq.txt", p.GenerateASCII(31))
-	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, 0, true, []string{in}); err != nil {
+	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, 0, 0, 0, true, []string{in}); err != nil {
 		t.Fatalf("clean exchange: %v", err)
 	}
-	if err := runExchange(context.Background(), "dnax", 0.3, 8, 2015, 0, true, []string{in}); err != nil {
+	if err := runExchange(context.Background(), "dnax", 0.3, 8, 2015, 0, 0, 0, true, []string{in}); err != nil {
 		t.Fatalf("faulty exchange at 30%%: %v", err)
 	}
-	if err := runExchange(context.Background(), "nope", 0, 8, 2015, 0, true, []string{in}); err == nil {
+	if err := runExchange(context.Background(), "nope", 0, 8, 2015, 0, 0, 0, true, []string{in}); err == nil {
 		t.Error("unknown codec accepted in exchange mode")
 	}
-	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, 0, true, []string{writeTemp(t, "n.txt", []byte("123"))}); err == nil {
+	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, 0, 0, 0, true, []string{writeTemp(t, "n.txt", []byte("123"))}); err == nil {
 		t.Error("no-ACGT input accepted in exchange mode")
 	}
 	// A retry budget of zero against a certain first-attempt fault fails.
-	if err := runExchange(context.Background(), "dnax", 1, 0, 2015, 0, true, []string{in}); err == nil {
+	if err := runExchange(context.Background(), "dnax", 1, 0, 2015, 0, 0, 0, true, []string{in}); err == nil {
 		t.Error("always-failing store with no retries reported success")
+	}
+}
+
+// TestExchangeModeFleet: -fleet routes the exchange through a replicated
+// shard fleet; per-shard transient faults fail over instead of failing the
+// loop, in both single-frame and block mode.
+func TestExchangeModeFleet(t *testing.T) {
+	p := synth.Profile{Length: 3000, GC: 0.5, RepeatProb: 0.002, RepeatMin: 20, RepeatMax: 100}
+	in := writeTemp(t, "seq.txt", p.GenerateASCII(32))
+	if err := runExchange(context.Background(), "dnax", 0, 8, 2015, 0, 5, 3, true, []string{in}); err != nil {
+		t.Fatalf("clean fleet exchange: %v", err)
+	}
+	if err := runExchange(context.Background(), "dnax", 0.2, 8, 2015, 0, 5, 3, true, []string{in}); err != nil {
+		t.Fatalf("faulty fleet exchange at 20%%: %v", err)
+	}
+	if err := runExchange(context.Background(), "dnax", 0.2, 8, 2015, 512, 5, 3, true, []string{in}); err != nil {
+		t.Fatalf("faulty fleet block exchange at 20%%: %v", err)
+	}
+}
+
+// TestValidateFleetFlags: fleet knobs outside their domain fail fast.
+func TestValidateFleetFlags(t *testing.T) {
+	for _, tc := range []struct {
+		rate        float64
+		fleet, repl int
+		ok          bool
+	}{
+		{0, 0, 0, true}, {0, 5, 0, true}, {0, 5, 3, true}, {0.5, 5, 3, true},
+		{0, -1, 0, false}, // negative shard count
+		{0, 5, -1, false}, // negative replication
+		{0, 0, 3, false},  // replication without a fleet
+		{0, 3, 5, false},  // more replicas than shards
+		{1, 5, 3, false},  // certain per-shard failure: every op would exhaust retries
+		{1, 0, 0, true},   // rate 1 stays legal for the single FaultyStore path
+	} {
+		err := validateFlags(tc.rate, 8, 0, "", false, tc.fleet, tc.repl)
+		if (err == nil) != tc.ok {
+			t.Errorf("validateFlags(rate=%v, fleet=%d, repl=%d) = %v, want ok=%v",
+				tc.rate, tc.fleet, tc.repl, err, tc.ok)
+		}
 	}
 }
 
@@ -412,7 +452,7 @@ func TestObservabilityExports(t *testing.T) {
 	}
 	tracer := obs.NewTracer(obs.System())
 	ctx := obs.WithTracer(context.Background(), tracer)
-	if err := runExchange(ctx, "dnax", 0, 8, 2015, 0, true, []string{in}); err != nil {
+	if err := runExchange(ctx, "dnax", 0, 8, 2015, 0, 0, 0, true, []string{in}); err != nil {
 		t.Fatal(err)
 	}
 

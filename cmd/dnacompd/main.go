@@ -21,10 +21,17 @@
 // offline CLI.
 //
 // Admission control is explicit: a bounded queue and a fixed worker pool
-// (-workers, -queue), per-codec concurrency limits (-per-codec), and 429
-// + Retry-After when the queue is full. SIGTERM/SIGINT starts a graceful
-// drain: /healthz turns 503, in-flight requests finish, then the process
-// exits.
+// (-workers, -queue), per-codec concurrency and backlog limits
+// (-per-codec), and 429 + Retry-After when the queue or a codec is
+// saturated. SIGTERM/SIGINT starts a graceful drain: /healthz turns 503,
+// in-flight requests finish, then the process exits.
+//
+// With -fleet-shards N the named-container store moves onto a replicated
+// shard fleet (cloud.Fleet): stored containers survive shard loss, a
+// partial outage answers 503 + Retry-After only when the quorum is truly
+// lost, and /metrics grows the dna_fleet_* health series.
+//
+//	dnacompd -model rules.json -fleet-shards 5 -fleet-replication 3
 //
 // The built-in deterministic load generator drives a daemon and prints a
 // JSON report with full outcome accounting and latency percentiles:
@@ -44,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/srl-nuces/ctxdna/internal/cloud"
 	"github.com/srl-nuces/ctxdna/internal/core"
 	"github.com/srl-nuces/ctxdna/internal/obs"
 	"github.com/srl-nuces/ctxdna/internal/serve"
@@ -72,8 +80,13 @@ func realMain() int {
 		perCodec     = flag.Int("per-codec", 0, "max workers running the same codec at once (0 = no extra limit)")
 		maxBody      = flag.Int64("max-body", 0, "request body cap in bytes (0 = 64 MiB)")
 		maxStored    = flag.Int("max-stored", 0, "named-container store cap (0 = 256)")
-		retryAfter   = flag.Int("retry-after", 0, "Retry-After seconds on 429 (0 = 1)")
+		retryAfter   = flag.Int("retry-after", 0, "Retry-After seconds on backpressure responses (0 = 1)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGTERM")
+
+		fleetShards      = flag.Int("fleet-shards", 0, "back the named-container store with a replicated shard fleet of this size (0 = in-process map)")
+		fleetReplication = flag.Int("fleet-replication", 0, "replicas per stored container in -fleet-shards mode (0 = min(3, shards))")
+		fleetFaultRate   = flag.Float64("fleet-fault-rate", 0, "per-shard transient fault rate in [0,1) for -fleet-shards mode")
+		fleetSeed        = flag.Uint64("fleet-seed", 2015, "seed for fleet placement and per-shard fault schedules")
 
 		loadgen  = flag.String("loadgen", "", "run the deterministic load generator instead of serving: a daemon URL, or \"self\" to drive an in-process daemon")
 		requests = flag.Int("requests", 64, "load units to issue in -loadgen mode")
@@ -99,6 +112,12 @@ func realMain() int {
 		return runLoadgen(*loadgen, *requests, *conc, *seed, *minBases, *maxBases, nil)
 	}
 
+	fleet, err := buildFleet(*fleetShards, *fleetReplication, *fleetFaultRate, *fleetSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnacompd:", err)
+		flag.Usage()
+		return 2
+	}
 	engine, err := loadEngine(*modelPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnacompd:", err)
@@ -112,6 +131,7 @@ func realMain() int {
 		MaxBodyBytes:      *maxBody,
 		MaxStored:         *maxStored,
 		RetryAfterSeconds: *retryAfter,
+		FleetStore:        fleet,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnacompd:", err)
@@ -139,9 +159,12 @@ func realMain() int {
 		return code
 	}
 
-	fmt.Fprintf(os.Stderr, "dnacompd: serving on %s (workers=%d queue=%d)\n", ds.Addr(), cfgWorkers(*workers), cfgQueue(*workers, *queueDepth))
+	// Install the signal handler before announcing readiness: a SIGTERM
+	// that lands right after the banner must start a graceful drain, not
+	// hit the runtime's default handler and kill the process mid-request.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	fmt.Fprintf(os.Stderr, "dnacompd: serving on %s (workers=%d queue=%d)\n", ds.Addr(), cfgWorkers(*workers), cfgQueue(*workers, *queueDepth))
 	select {
 	case err := <-serveErr:
 		// The listener died underneath us (port stolen, fd limit, ...).
@@ -170,6 +193,34 @@ func shutdown(srv *serve.Server, ds *obs.DebugServer, serveErr <-chan error, gra
 	}
 	<-serveErr
 	srv.Close()
+}
+
+// buildFleet constructs the replicated store backing the named-container
+// store in -fleet-shards mode. It returns a nil interface when fleet mode
+// is off, so serve.Config.FleetStore stays unset (a typed-nil interface
+// would read as "fleet configured"). The fleet shares the default metrics
+// registry, so /metrics exposes the dna_fleet_* series alongside the
+// daemon's own.
+func buildFleet(shards, replication int, faultRate float64, seed uint64) (cloud.Store, error) {
+	if shards <= 0 {
+		if replication > 0 || faultRate > 0 {
+			return nil, fmt.Errorf("-fleet-replication and -fleet-fault-rate need -fleet-shards > 0")
+		}
+		return nil, nil
+	}
+	if faultRate < 0 || faultRate >= 1 {
+		return nil, fmt.Errorf("-fleet-fault-rate %v: want a rate in [0, 1)", faultRate)
+	}
+	f, err := cloud.NewFleet(cloud.FleetConfig{
+		Shards:      cloud.DefaultShardSpecs(shards, faultRate, seed),
+		Replication: replication,
+		Seed:        seed,
+		Registry:    obs.Default(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 // loadEngine loads the persisted model, or trains the ctxselect-parity

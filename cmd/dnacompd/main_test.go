@@ -210,6 +210,70 @@ func TestDaemonEndToEndAndGracefulDrain(t *testing.T) {
 	}
 }
 
+// TestFleetModeFlagsValidated: fleet flags that cannot build a fleet are
+// usage errors (exit 2), reported before the daemon claims to serve.
+func TestFleetModeFlagsValidated(t *testing.T) {
+	bin := buildDaemon(t)
+	for _, args := range [][]string{
+		{"-fleet-fault-rate", "0.2"},                       // fault rate without shards
+		{"-fleet-replication", "3"},                        // replication without shards
+		{"-fleet-shards", "4", "-fleet-fault-rate", "1.5"}, // rate outside [0,1)
+	} {
+		out, err := exec.Command(bin, append(args, "-model", testModel(t))...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("%v: want exit 2, got %v\n%s", args, err, out)
+		}
+	}
+}
+
+// TestFleetModeEndToEnd boots the real binary with a replicated fleet
+// behind the named-container store, round-trips a stored container, and
+// checks /metrics exposes the dna_fleet_* health series.
+func TestFleetModeEndToEnd(t *testing.T) {
+	cmd, base := startDaemon(t, "-fleet-shards", "5", "-fleet-replication", "3")
+
+	input := synth.Profile{Length: 3000, GC: 0.45, RepeatProb: 0.002, RepeatMin: 16, RepeatMax: 64}.GenerateASCII(13)
+	resp, err := http.Post(base+"/compress?codec=twobit&name=fleetseq", "application/octet-stream", bytes.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress into fleet store: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/decompress?name=fleetseq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(restored, input) {
+		t.Fatalf("fleet-stored round trip failed: HTTP %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"dna_fleet_ops_total", "dna_fleet_shard_state", "dna_fleet_quorum_ms"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %s in fleet mode", want)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("fleet-mode daemon exited uncleanly after SIGTERM: %v", err)
+	}
+}
+
 // TestLoadgenSelfMode: the one-command smoke the Makefile serve gate runs —
 // an in-process daemon driven by the deterministic harness, reporting
 // complete accounting as JSON on stdout.

@@ -284,7 +284,7 @@ func retryOp(ctx context.Context, opts ExchangeOptions, op string, f func() erro
 			return tr, err
 		}
 		tr.Attempts++
-		err := runOp(ctx, opts.OpTimeout, f)
+		err := runOp(ctx, op, opts.OpTimeout, f)
 		if err == nil {
 			return tr, nil
 		}
@@ -307,14 +307,32 @@ func retryOp(ctx context.Context, opts ExchangeOptions, op string, f func() erro
 	}
 }
 
+// OpTimeoutError names the store op whose per-op deadline expired, so a
+// trace or RunError says "get timed out after 50ms" instead of a generic
+// deadline message. It unwraps to context.DeadlineExceeded, keeping the
+// retry classification (timeouts are transient) unchanged.
+type OpTimeoutError struct {
+	Op      string
+	Timeout time.Duration
+}
+
+func (e *OpTimeoutError) Error() string {
+	return fmt.Sprintf("cloud: %s timed out after %v", e.Op, e.Timeout)
+}
+
+// Unwrap lets errors.Is(err, context.DeadlineExceeded) keep working.
+func (e *OpTimeoutError) Unwrap() error { return context.DeadlineExceeded }
+
 // runOp executes f, bounding its real time by timeout when set. The op runs
 // in its own goroutine only when a timeout applies; an abandoned op holds a
-// buffered channel so a late finish never blocks.
-func runOp(ctx context.Context, timeout time.Duration, f func() error) error {
+// buffered channel so a late finish never blocks. A deadline expiry is
+// reported as an *OpTimeoutError carrying the op name (via
+// context.WithTimeoutCause), not a bare DeadlineExceeded.
+func runOp(ctx context.Context, op string, timeout time.Duration, f func() error) error {
 	if timeout <= 0 {
 		return f()
 	}
-	opCtx, cancel := context.WithTimeout(ctx, timeout)
+	opCtx, cancel := context.WithTimeoutCause(ctx, timeout, &OpTimeoutError{Op: op, Timeout: timeout})
 	defer cancel()
 	done := make(chan error, 1)
 	//lint:ignore goroutinebound timeout abandonment is the point: the buffered channel lets a late op finish without blocking, and f holds no resources past its return
@@ -323,6 +341,8 @@ func runOp(ctx context.Context, timeout time.Duration, f func() error) error {
 	case err := <-done:
 		return err
 	case <-opCtx.Done():
-		return opCtx.Err()
+		// Cause names the op for a per-op deadline; external cancellation
+		// keeps the parent's cause untouched.
+		return context.Cause(opCtx)
 	}
 }

@@ -265,6 +265,31 @@ func TestExchangeOpTimeoutRetriesThenGivesUp(t *testing.T) {
 	}
 }
 
+// TestExchangeOpTimeoutNamesOp: a per-op deadline expiry is an
+// *OpTimeoutError naming the op and timeout — "put timed out after 5ms",
+// not a generic context deadline — while still unwrapping to
+// context.DeadlineExceeded so the transient-retry classification holds.
+func TestExchangeOpTimeoutNamesOp(t *testing.T) {
+	store := NewFaultyStore(NewBlobStore(), FaultConfig{Rate: 0, Seed: 1, OpDelay: 50 * time.Millisecond})
+	_, err := Exchange(context.Background(), chaosClient, store, "dnax", symbols(256, 5), ExchangeOptions{
+		Retry:     RetryPolicy{MaxRetries: 0},
+		OpTimeout: 5 * time.Millisecond,
+	})
+	var ot *OpTimeoutError
+	if !errors.As(err, &ot) {
+		t.Fatalf("err = %v, want *OpTimeoutError in chain", err)
+	}
+	if ot.Op != "put" || ot.Timeout != 5*time.Millisecond {
+		t.Fatalf("timeout attributed to %q after %v, want put after 5ms", ot.Op, ot.Timeout)
+	}
+	if got, want := ot.Error(), "cloud: put timed out after 5ms"; got != want {
+		t.Fatalf("message %q, want %q", got, want)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("op timeout no longer matches DeadlineExceeded: %v", err)
+	}
+}
+
 func TestExchangeRejectsBadInput(t *testing.T) {
 	if _, err := Exchange(context.Background(), chaosClient, nil, "dnax", symbols(16, 6), ExchangeOptions{}); err == nil {
 		t.Error("nil store accepted")

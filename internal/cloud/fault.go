@@ -64,11 +64,12 @@ func NewFaultyStore(inner Store, cfg FaultConfig) *FaultyStore {
 	return &FaultyStore{inner: inner, cfg: cfg, attempts: make(map[string]int)}
 }
 
-// hashUnit maps (seed, parts...) to a deterministic value in [0, 1). FNV's
+// hash64 maps (seed, parts...) to a deterministic 64-bit value. FNV's
 // avalanche is weak when only the trailing bytes differ (consecutive
-// attempt numbers), so the sum is run through a murmur-style finalizer to
-// spread those differences across all bits before the top 53 are taken.
-func hashUnit(seed uint64, parts ...string) float64 {
+// attempt numbers, vnode ordinals), so the sum is run through a
+// murmur-style finalizer to spread those differences across all bits. The
+// fault schedule and the fleet's consistent-hash ring both key off it.
+func hash64(seed uint64, parts ...string) uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d", seed)
 	for _, p := range parts {
@@ -81,7 +82,13 @@ func hashUnit(seed uint64, parts ...string) float64 {
 	x ^= x >> 33
 	x *= 0xc4ceb9fe1a85ec53
 	x ^= x >> 33
-	return float64(x>>11) / float64(1<<53)
+	return x
+}
+
+// hashUnit maps (seed, parts...) to a deterministic value in [0, 1) by
+// taking the top 53 bits of hash64.
+func hashUnit(seed uint64, parts ...string) float64 {
+	return float64(hash64(seed, parts...)>>11) / float64(1<<53)
 }
 
 // roll advances the attempt counter for (op, container, blob) and returns

@@ -10,14 +10,18 @@ import (
 // Real time enters through an obs.Clock — obs.System() wired in by the
 // CLIs, obs.NewFake driven by tests — so span durations and progress output
 // are reproducible and the deterministic grids stay modeled-time-only.
-// Determinism flags the same calls for its own reason (output
-// reproducibility); this analyzer names the sanctioned replacement.
+// The fleet's circuit breakers depend on this invariant hardest: their
+// open→half-open cool-downs run on the injected clock so chaos tests can
+// advance time deterministically instead of sleeping. Determinism flags
+// the same calls for its own reason (output reproducibility); this
+// analyzer names the sanctioned replacement.
 var ClockInject = &Analyzer{
 	Name: "clockinject",
 	Doc: `flags direct time.Now / time.Since calls in packages that must take
 their clock from obs.Clock (obs.System in CLIs, obs.NewFake in tests).
-Methods on an injected clock are the sanctioned path and stay clean.
-Scope: internal/compress/..., internal/cloud, internal/experiment,
+Methods on an injected clock are the sanctioned path and stay clean; the
+fleet's breaker cool-downs are the canonical dependent. Scope:
+internal/compress/..., internal/cloud, internal/experiment,
 internal/serve (non-test files).`,
 	Scope: scopeUnder("internal/compress", "internal/cloud", "internal/experiment", "internal/serve"),
 	Run:   runClockInject,

@@ -8,10 +8,13 @@ import (
 
 // GoroutineBound demands every `go` statement live inside a recognized
 // bounded-pool shape. The repository's concurrency idiom (RunParallel,
-// BlockCompress, ExchangeBlocks' transferPool) is a fixed worker count
-// joined by a sync.WaitGroup; a stray fire-and-forget goroutine is a leak
-// under the service workloads the ROADMAP is heading toward, and — worse —
-// an unjoined writer racing the function's return. Shapes accepted:
+// BlockCompress, ExchangeBlocks' transferPool, the fleet's replica
+// fan-outs) is a fixed worker count joined by a sync.WaitGroup; a stray
+// fire-and-forget goroutine is a leak under the service workloads the
+// ROADMAP is heading toward, and — worse — an unjoined writer racing the
+// function's return. The fleet's quorum writes make the stakes concrete:
+// an abandoned replica goroutine is a shard write racing the ack count.
+// Shapes accepted:
 //
 //   - WaitGroup pool: wg.Add before the go statement, wg.Done inside the
 //     goroutine, wg.Wait somewhere in the function.

@@ -1,0 +1,46 @@
+package clockinject
+
+import (
+	"time"
+
+	"github.com/srl-nuces/ctxdna/internal/obs"
+)
+
+// breakerWallClock is the fleet anti-pattern this analyzer exists to
+// catch: a circuit breaker timing its cool-down off the wall clock. Chaos
+// tests cannot advance real time, so the open→half-open transition would
+// be untestable and the fleet's determinism gate would race the scheduler.
+type breakerWallClock struct {
+	openedAt time.Time
+	coolDown time.Duration
+}
+
+func (b *breakerWallClock) allow() bool {
+	if b.openedAt.IsZero() {
+		return true
+	}
+	return time.Since(b.openedAt) >= b.coolDown // want `time\.Since bypasses the injected clock`
+}
+
+func (b *breakerWallClock) trip() {
+	b.openedAt = time.Now() // want `time\.Now bypasses the injected clock`
+}
+
+// breakerInjected is the sanctioned fleet shape: the breaker reads its
+// clock from obs.Clock, so tests drive cool-downs with obs.Fake.Advance.
+type breakerInjected struct {
+	clock    obs.Clock
+	openedAt time.Time
+	coolDown time.Duration
+}
+
+func (b *breakerInjected) allow() bool {
+	if b.openedAt.IsZero() {
+		return true
+	}
+	return b.clock.Since(b.openedAt) >= b.coolDown // ok: injected clock method
+}
+
+func (b *breakerInjected) trip() {
+	b.openedAt = b.clock.Now() // ok: injected clock method
+}

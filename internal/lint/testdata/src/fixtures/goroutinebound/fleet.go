@@ -1,0 +1,50 @@
+package goroutinebound
+
+import "sync"
+
+// replicaFanOut is the fleet's quorum-write shape: one goroutine per
+// replica shard, all joined through a WaitGroup before the ack count is
+// read. Bounded by construction — the replica set is fixed.
+func replicaFanOut(replicas []func() error) int {
+	var wg sync.WaitGroup
+	errs := make([]error, len(replicas))
+	for i, put := range replicas {
+		wg.Add(1)
+		go func(i int, put func() error) { // ok: WaitGroup-joined fan-out
+			defer wg.Done()
+			errs[i] = put()
+		}(i, put)
+	}
+	wg.Wait()
+	acks := 0
+	for _, err := range errs {
+		if err == nil {
+			acks++
+		}
+	}
+	return acks
+}
+
+// quorumRace abandons the slow replicas once quorum is reached: the
+// select lets the timeout arm return while replica goroutines are still
+// running, so they outlive their spawner unjoined.
+func quorumRace(replicas []func() error, timeout chan struct{}) int {
+	done := make(chan error, len(replicas))
+	for _, get := range replicas {
+		go func(get func() error) { // want `outside a recognized bounded-pool shape`
+			done <- get()
+		}(get)
+	}
+	acks := 0
+	for range replicas {
+		select {
+		case err := <-done:
+			if err == nil {
+				acks++
+			}
+		case <-timeout:
+			return acks
+		}
+	}
+	return acks
+}

@@ -10,8 +10,16 @@
 //
 // Concurrency model: requests are admitted into a bounded queue and
 // executed by a fixed worker pool; a full queue answers 429 with
-// Retry-After (backpressure, never silent drops), and per-codec
-// semaphores bound how many workers a single expensive codec can occupy.
+// Retry-After (backpressure, never silent drops), per-codec semaphores
+// bound how many workers a single expensive codec can occupy, and a
+// per-codec backlog bound answers 429 before a saturated codec's queue
+// wait grows without bound. Every backpressure response — 429, draining
+// 503, 507 store overflow, fleet-unavailable 503 — carries Retry-After.
+//
+// Named containers can live in an in-process map (the default) or, when
+// Config.FleetStore is set, on a replicated cloud.Fleet — the daemon then
+// survives shard loss mid-request, answering 503 + Retry-After only when
+// the fleet truly lost its quorum.
 // Handlers are pure functions of (request, model, registry): response
 // bytes never depend on wall time, worker interleaving or queue state, so
 // the repo's byte-determinism contract extends to the daemon. The wall
@@ -21,6 +29,7 @@ package serve
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -30,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/srl-nuces/ctxdna/internal/cloud"
 	"github.com/srl-nuces/ctxdna/internal/compress"
 	"github.com/srl-nuces/ctxdna/internal/core"
 	"github.com/srl-nuces/ctxdna/internal/obs"
@@ -67,6 +77,11 @@ type Config struct {
 	// PerCodec bounds how many workers may run the same codec at once;
 	// <= 0 means Workers (no extra restriction).
 	PerCodec int
+	// PerCodecBacklog bounds admitted-but-unfinished requests per codec
+	// (queued + waiting on the codec semaphore + executing); beyond it a
+	// request answers 429 + Retry-After instead of camping on the queue
+	// behind a saturated codec. <= 0 means QueueDepth + Workers.
+	PerCodecBacklog int
 	// MaxBodyBytes caps the request body; <= 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
 	// Limits bounds untrusted decompression; the zero value applies the
@@ -79,9 +94,18 @@ type Config struct {
 	// The zero value uses the paper-style lab client ctxselect defaults
 	// (3584 MB RAM, 2400 MHz, 10 Mbps).
 	DefaultContext core.Context
-	// RetryAfterSeconds is the 429 backpressure hint; <= 0 means
-	// DefaultRetryAfterSeconds.
+	// RetryAfterSeconds is the Retry-After hint on every backpressure
+	// response (429/503/507); <= 0 means DefaultRetryAfterSeconds.
 	RetryAfterSeconds int
+	// FleetStore, when set, backs the named-container store with a
+	// replicated cloud store (typically a *cloud.Fleet) instead of the
+	// in-process map: stored containers survive shard loss, partial
+	// outages degrade to 503 + Retry-After only when the write/read quorum
+	// is truly lost, and an unknown name is a plain 404.
+	FleetStore cloud.Store
+	// FleetContainer names the fleet container holding stored containers;
+	// "" means "serve". Only read when FleetStore is set.
+	FleetContainer string
 }
 
 // job is one admitted unit of work: the worker runs it and sends exactly
@@ -148,7 +172,13 @@ type Server struct {
 	wg       sync.WaitGroup
 	draining atomic.Bool
 	codecSem map[string]chan struct{}
+	// codecPending counts admitted-but-unfinished requests per codec for
+	// the PerCodecBacklog admission bound.
+	codecPending map[string]*atomic.Int64
 
+	// store holds named containers. In fleet mode the bytes live on the
+	// fleet and the map entry (nil value) only reserves the name under the
+	// MaxStored cap.
 	storeMu sync.RWMutex
 	store   map[string][]byte
 }
@@ -168,6 +198,12 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.PerCodec <= 0 || cfg.PerCodec > cfg.Workers {
 		cfg.PerCodec = cfg.Workers
 	}
+	if cfg.PerCodecBacklog <= 0 {
+		cfg.PerCodecBacklog = cfg.QueueDepth + cfg.Workers
+	}
+	if cfg.FleetContainer == "" {
+		cfg.FleetContainer = "serve"
+	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
@@ -182,22 +218,30 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	reg := obs.OrDefault(cfg.Registry)
 	s := &Server{
-		cfg:      cfg,
-		engine:   cfg.Engine,
-		reg:      reg,
-		clock:    cfg.Clock,
-		met:      newServeMetrics(reg),
-		queue:    make(chan job, cfg.QueueDepth),
-		codecSem: make(map[string]chan struct{}, len(compress.Names())),
-		store:    make(map[string][]byte),
+		cfg:          cfg,
+		engine:       cfg.Engine,
+		reg:          reg,
+		clock:        cfg.Clock,
+		met:          newServeMetrics(reg),
+		queue:        make(chan job, cfg.QueueDepth),
+		codecSem:     make(map[string]chan struct{}, len(compress.Names())),
+		codecPending: make(map[string]*atomic.Int64, len(compress.Names())),
+		store:        make(map[string][]byte),
 	}
 	if s.clock == nil {
 		s.clock = obs.System()
 	}
-	// The per-codec semaphore map is fixed at construction (the codec
-	// registry is sealed after init), so workers index it without a lock.
+	// The per-codec semaphore and backlog maps are fixed at construction
+	// (the codec registry is sealed after init), so workers index them
+	// without a lock.
 	for _, name := range compress.Names() {
 		s.codecSem[name] = make(chan struct{}, cfg.PerCodec)
+		s.codecPending[name] = &atomic.Int64{}
+	}
+	if cfg.FleetStore != nil {
+		if err := cfg.FleetStore.CreateContainer(cfg.FleetContainer); err != nil && !errors.Is(err, cloud.ErrContainerExists) {
+			return nil, fmt.Errorf("serve: fleet container %q: %w", cfg.FleetContainer, err)
+		}
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -261,13 +305,34 @@ func (s *Server) Handler() http.Handler {
 
 // --- admission ---------------------------------------------------------
 
-// submit runs fn through the admission plane: draining refusal, bounded
-// queue with 429 backpressure, worker execution, latency recording. It
-// returns the response to write.
+// backpressure builds a transient-refusal response. Every status it is
+// used for (429 queue/codec saturation, 503 draining or fleet outage, 507
+// store overflow) is retryable, so every one carries the Retry-After hint.
+func (s *Server) backpressure(status int, msg string) *response {
+	r := errorResponse(status, msg)
+	r.header = map[string]string{"Retry-After": strconv.Itoa(s.cfg.RetryAfterSeconds)}
+	return r
+}
+
+// submit runs fn through the admission plane: draining refusal, per-codec
+// backlog bound, bounded queue with 429 backpressure, worker execution.
+// It returns the response to write.
 func (s *Server) submit(endpoint, codec string, fn func() *response) *response {
 	if s.draining.Load() {
 		s.met.rejected("draining")
-		return errorResponse(http.StatusServiceUnavailable, "server is draining")
+		return s.backpressure(http.StatusServiceUnavailable, "server is draining")
+	}
+	// A saturated codec is refused before the queue: its semaphore would
+	// park a worker on every queued request, so admitting more of the same
+	// codec only grows the backlog other codecs then wait behind.
+	if pending := s.codecPending[codec]; pending != nil {
+		if pending.Add(1) > int64(s.cfg.PerCodecBacklog) {
+			pending.Add(-1)
+			s.met.rejected("codec_saturated")
+			return s.backpressure(http.StatusTooManyRequests,
+				fmt.Sprintf("codec %s is saturated (%d requests pending)", codec, s.cfg.PerCodecBacklog))
+		}
+		defer pending.Add(-1)
 	}
 	j := job{codec: codec, run: fn, done: make(chan *response, 1)}
 	select {
@@ -275,9 +340,7 @@ func (s *Server) submit(endpoint, codec string, fn func() *response) *response {
 		s.met.queueDepth.Add(1)
 	default:
 		s.met.rejected("queue_full")
-		r := errorResponse(http.StatusTooManyRequests, "request queue is full")
-		r.header = map[string]string{"Retry-After": strconv.Itoa(s.cfg.RetryAfterSeconds)}
-		return r
+		return s.backpressure(http.StatusTooManyRequests, "request queue is full")
 	}
 	return <-j.done
 }
@@ -453,8 +516,8 @@ func (s *Server) doCompress(codec, source string, p compressParams, symbols []by
 		return errorResponse(http.StatusUnprocessableEntity, fmt.Sprintf("compress with %s: %v", codec, err))
 	}
 	if p.name != "" {
-		if err := s.storePut(p.name, container); err != nil {
-			return errorResponse(http.StatusInsufficientStorage, err.Error())
+		if errResp := s.storePut(p.name, container); errResp != nil {
+			return errResp
 		}
 	}
 	s.met.selected(codec, source)
@@ -532,9 +595,9 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 				"GET /decompress needs ?name= of a stored container (POST the container body otherwise)"))
 			return
 		}
-		var ok bool
-		if container, ok = s.storeGet(name); !ok {
-			s.finish(w, "decompress", t0, errorResponse(http.StatusNotFound, fmt.Sprintf("no stored container %q", name)))
+		var errResp *response
+		if container, errResp = s.storeGet(name); errResp != nil {
+			s.finish(w, "decompress", t0, errResp)
 			return
 		}
 	default:
@@ -650,25 +713,74 @@ func resolveRange(rng rangeParams, bases int) (off, n int, err error) {
 
 // --- named-container store --------------------------------------------
 
-// storePut retains container under name for later GET range reads.
-// Overwriting an existing name is allowed (idempotent re-uploads); new
-// names beyond the cap are refused so a client cannot grow the daemon's
-// memory without bound.
-func (s *Server) storePut(name string, container []byte) error {
+// storePut retains container under name for later GET range reads,
+// returning a non-nil error response on refusal. Overwriting an existing
+// name is allowed (idempotent re-uploads); new names beyond the cap are
+// refused (507 + Retry-After) so a client cannot grow the daemon's — or
+// the fleet's — footprint without bound. In fleet mode the bytes travel
+// to the replicated store and a lost write quorum degrades to 503 +
+// Retry-After; the local name reservation is rolled back so the failed
+// name does not burn a store slot.
+func (s *Server) storePut(name string, container []byte) *response {
 	s.storeMu.Lock()
-	defer s.storeMu.Unlock()
-	if _, exists := s.store[name]; !exists && len(s.store) >= s.cfg.MaxStored {
-		return fmt.Errorf("container store is full (%d names)", s.cfg.MaxStored)
+	_, existed := s.store[name]
+	if !existed && len(s.store) >= s.cfg.MaxStored {
+		s.storeMu.Unlock()
+		return s.backpressure(http.StatusInsufficientStorage,
+			fmt.Sprintf("container store is full (%d names)", s.cfg.MaxStored))
 	}
-	s.store[name] = container
+	if s.cfg.FleetStore == nil {
+		s.store[name] = container
+		s.storeMu.Unlock()
+		return nil
+	}
+	s.store[name] = nil // reserve the name under the cap while the fleet write runs
+	s.storeMu.Unlock()
+	if err := s.cfg.FleetStore.Put(s.cfg.FleetContainer, name, container); err != nil {
+		if !existed {
+			s.storeMu.Lock()
+			delete(s.store, name)
+			s.storeMu.Unlock()
+		}
+		return s.fleetError("store", err)
+	}
 	return nil
 }
 
-func (s *Server) storeGet(name string) ([]byte, bool) {
-	s.storeMu.RLock()
-	defer s.storeMu.RUnlock()
-	c, ok := s.store[name]
-	return c, ok
+// storeGet fetches a named container, returning a non-nil error response
+// on failure: 404 for an unknown name, 503 + Retry-After when the fleet
+// cannot reach any replica of a name that exists.
+func (s *Server) storeGet(name string) ([]byte, *response) {
+	if s.cfg.FleetStore == nil {
+		s.storeMu.RLock()
+		c, ok := s.store[name]
+		s.storeMu.RUnlock()
+		if !ok {
+			return nil, errorResponse(http.StatusNotFound, fmt.Sprintf("no stored container %q", name))
+		}
+		return c, nil
+	}
+	c, err := s.cfg.FleetStore.Get(s.cfg.FleetContainer, name)
+	if err != nil {
+		return nil, s.fleetError("fetch", err)
+	}
+	return c, nil
+}
+
+// fleetError maps a fleet store failure onto the HTTP surface: a missing
+// blob is 404, a quorum-lost or transient fleet state is retryable
+// backpressure (503 + Retry-After), anything else is a 500.
+func (s *Server) fleetError(op string, err error) *response {
+	switch {
+	case errors.Is(err, cloud.ErrNotFound):
+		return errorResponse(http.StatusNotFound, fmt.Sprintf("%s container: %v", op, err))
+	case cloud.IsDegraded(err) || cloud.IsTransient(err):
+		s.reg.Counter("dna_serve_fleet_unavailable_total", "Requests refused because the fleet store lost its quorum.",
+			"op", op).Inc()
+		return s.backpressure(http.StatusServiceUnavailable, fmt.Sprintf("fleet store cannot %s container: %v", op, err))
+	default:
+		return errorResponse(http.StatusInternalServerError, fmt.Sprintf("%s container: %v", op, err))
+	}
 }
 
 // Cleanse converts request body text — FASTA or raw base text, any case,

@@ -308,7 +308,9 @@ func okResponse() *response { return &response{status: http.StatusOK} }
 func TestQueueFullAnswers429(t *testing.T) {
 	registerGateCodec()
 	reg := obs.NewRegistry()
-	s, err := NewServer(Config{Engine: testEngine(t), Workers: 1, QueueDepth: 1, Registry: reg, RetryAfterSeconds: 3})
+	// PerCodecBacklog is widened past the queue so this test keeps hitting
+	// the queue_full path, not the codec-saturation bound.
+	s, err := NewServer(Config{Engine: testEngine(t), Workers: 1, QueueDepth: 1, PerCodecBacklog: 16, Registry: reg, RetryAfterSeconds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
