@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-fix-check test race fuzz-smoke chaos corruption blocks bench-json obs-smoke serve fleet fmt verify
+.PHONY: all build lint lint-fix-check test race fuzz-smoke chaos corruption blocks bench-json obs-smoke obs-trace serve fleet fmt verify
 
 all: build
 
@@ -11,9 +11,10 @@ build:
 	$(GO) build ./...
 
 # Static analysis: gofmt over the whole tree (examples/ included), the
-# toolchain's vet suite, and dnalint — all ten repo-invariant analyzers
+# toolchain's vet suite, and dnalint — all eleven repo-invariant analyzers
 # (allocguard, clockinject, copydiscipline, ctxprop, determinism,
-# errtaxonomy, goroutinebound, registerinit, statsadd, untrustedflow) —
+# errtaxonomy, goroutinebound, registerinit, spanend, statsadd,
+# untrustedflow) —
 # driven through `go vet -vettool` so it sees the same build graph vet
 # does, then the //lint:ignore audit: every suppression must still be
 # covering a live finding.
@@ -76,6 +77,9 @@ bench-json-server:
 bench-json-fleet:
 	$(GO) run ./cmd/benchjson -suite fleet -o BENCH_9.json
 
+bench-json-obs:
+	$(GO) run ./cmd/benchjson -suite obs -o BENCH_10.json
+
 # Serving gate: the daemon and debug-server tests under the race detector
 # (admission control, graceful drain, reader contracts, expvar remount,
 # synchronous pprof bind), then a deterministic load-generator smoke
@@ -123,7 +127,16 @@ obs-smoke:
 	grep -q '"name": "experiment.grid"' "$$tmp/trace.json" || { echo "obs-smoke: missing grid span"; exit 1; }; \
 	echo "obs-smoke: ok"
 
+# Request-tracing gate: a daemon round-trip through the in-process
+# selftest — an inbound traceparent must survive serve -> codec -> fleet
+# replica with one trace ID, the flight recorder must replay the request's
+# codec/shard/breaker attribution, and /debug/slo must fold a non-empty
+# verdict.
+obs-trace:
+	$(GO) build -o bin/dnacompd ./cmd/dnacompd
+	./bin/dnacompd -obs-selftest
+
 fmt:
 	gofmt -w .
 
-verify: lint build race chaos corruption blocks fleet obs-smoke serve
+verify: lint build race chaos corruption blocks fleet obs-smoke obs-trace serve

@@ -25,6 +25,10 @@
 // fault schedule, plus one degraded step with a replica shard killed
 // outright — measuring what replication, quorum writes and failover reads
 // cost on top of the single-store exchange.
+//
+// The obs suite prices the observability plane: the same load plan with
+// tracing and the flight recorder fully off versus fully on, recording the
+// mean-latency overhead percentage (target: under 5%).
 package main
 
 import (
@@ -64,6 +68,10 @@ type Record struct {
 	MaxMS     float64 `json:"max_ms,omitempty"`
 	Completed int     `json:"completed,omitempty"`
 	Rejected  int     `json:"rejected,omitempty"`
+
+	// OverheadPct is filled by the obs suite: mean-latency cost of full
+	// observability (tracing + flight recorder) over the stripped baseline.
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
 }
 
 // Doc is the snapshot file layout.
@@ -250,6 +258,107 @@ func runServer(units int, seed int64) (Doc, error) {
 	return doc, nil
 }
 
+// runObs measures what the observability plane costs: the same load plan
+// driven twice through otherwise-identical daemons — once stripped (flight
+// recorder disabled, no trace headers) and once fully observed (recorder
+// on, every call carrying a seed-derived traceparent the server joins) —
+// at client concurrency 8. The observed record's OverheadPct is the
+// mean-latency delta over the baseline; the target is under 5%, recorded
+// as data rather than enforced (wall-clock latency on shared CI hardware
+// is too noisy for a hard gate).
+func runObs(units int, seed int64) (Doc, error) {
+	doc := Doc{
+		Schema:     "ctxdna-bench/v1",
+		Suite:      "obs-overhead",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	engine, err := serve.TrainEngine(
+		synth.CorpusSpec{NumFiles: 8, MinSize: 2 << 10, MaxSize: 32 << 10, Seed: 2015},
+		"cart",
+		[]string{"dnax", "gzip", "twobit"},
+	)
+	if err != nil {
+		return doc, fmt.Errorf("training selection model: %w", err)
+	}
+
+	step := func(name string, observed bool) (Record, error) {
+		cfg := serve.Config{Engine: engine, Registry: obs.NewRegistry()}
+		if observed {
+			cfg.IDs = obs.NewSeededIDSource(uint64(seed))
+		} else {
+			cfg.RecorderSize = -1
+		}
+		srv, err := serve.NewServer(cfg)
+		if err != nil {
+			return Record{}, err
+		}
+		ds, err := obs.NewDebugServer("127.0.0.1:0", srv.Handler())
+		if err != nil {
+			return Record{}, err
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- ds.Serve() }()
+
+		t0 := time.Now()
+		rep, err := serve.RunLoad(context.Background(), serve.LoadOptions{
+			BaseURL:     ds.URL(),
+			Units:       units,
+			Concurrency: 8,
+			Seed:        seed,
+			Registry:    obs.NewRegistry(),
+			NoTrace:     !observed,
+		})
+		elapsed := time.Since(t0)
+
+		srv.BeginDrain()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if serr := ds.Shutdown(sctx); serr != nil && err == nil {
+			err = serr
+		}
+		if serr := <-serveErr; serr != nil && err == nil {
+			err = serr
+		}
+		srv.Close()
+		if err != nil {
+			return Record{}, fmt.Errorf("%s: %w", name, err)
+		}
+		if rep.Failed > 0 || rep.Mismatches > 0 {
+			return Record{}, fmt.Errorf("%s: %d failed, %d mismatched: %v", name, rep.Failed, rep.Mismatches, rep.Errors)
+		}
+		rec := Record{
+			Name:      name,
+			N:         rep.Calls,
+			NsPerOp:   rep.Latency.MeanMS * 1e6,
+			P50MS:     rep.Latency.P50MS,
+			P90MS:     rep.Latency.P90MS,
+			P99MS:     rep.Latency.P99MS,
+			MaxMS:     rep.Latency.MaxMS,
+			Completed: rep.Completed,
+			Rejected:  rep.Rejected,
+		}
+		if elapsed > 0 {
+			rec.MBPerS = float64(rep.InputBases) / 1e6 / elapsed.Seconds()
+		}
+		return rec, nil
+	}
+
+	base, err := step("server_load/conc=8,obs=off", false)
+	if err != nil {
+		return doc, err
+	}
+	full, err := step("server_load/conc=8,obs=on", true)
+	if err != nil {
+		return doc, err
+	}
+	if base.NsPerOp > 0 {
+		full.OverheadPct = (full.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+	}
+	doc.Records = append(doc.Records, base, full)
+	return doc, nil
+}
+
 // runFleet sweeps the block exchange loop across shard-fleet shapes. Each
 // step builds a fresh fleet (per-shard seeded transient faults at rate 0.1)
 // and exchanges the same sequence through it; the degraded step also kills
@@ -336,7 +445,7 @@ func runFleet(bases, blockSize int, seed uint64) (Doc, error) {
 func main() {
 	var (
 		out       = flag.String("o", "", "output path (default stdout)")
-		suite     = flag.String("suite", "block-engine", "suite to run: block-engine, server or fleet")
+		suite     = flag.String("suite", "block-engine", "suite to run: block-engine, server, fleet or obs")
 		codecName = flag.String("codec", "dnax", "codec to benchmark (block-engine suite)")
 		bases     = flag.Int("bases", 1<<20, "sequence length in bases (block-engine suite)")
 		blockSize = flag.Int("block-size", 64<<10, "block size in bases (block-engine suite)")
@@ -355,8 +464,10 @@ func main() {
 		doc, err = runServer(*units, *seed)
 	case "fleet":
 		doc, err = runFleet(256<<10, *blockSize, uint64(*seed))
+	case "obs":
+		doc, err = runObs(*units, *seed)
 	default:
-		err = fmt.Errorf("unknown -suite %q: want block-engine, server or fleet", *suite)
+		err = fmt.Errorf("unknown -suite %q: want block-engine, server, fleet or obs", *suite)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

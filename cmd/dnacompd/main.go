@@ -33,8 +33,22 @@
 //
 //	dnacompd -model rules.json -fleet-shards 5 -fleet-replication 3
 //
+// Requests are traceable end to end: an inbound W3C Traceparent header
+// (or ?trace=1) starts a per-request trace whose spans cross serve ->
+// codec -> fleet replica under one trace ID; ?trace=1 returns the span
+// tree inline and -trace <file> appends one JSON line per traced
+// request. -recorder N sizes the flight recorder behind /debug/requests
+// (last N requests with codec/shard/breaker attribution; 0 = 256,
+// negative disables), /debug/slo serves latency and availability burn
+// rates with a verdict, and -obs-selftest runs the whole plane against
+// an in-process daemon and exits 0 only if trace continuity, recorder
+// attribution and the SLO verdict all check out (the `make obs-trace`
+// gate).
+//
 // The built-in deterministic load generator drives a daemon and prints a
-// JSON report with full outcome accounting and latency percentiles:
+// JSON report with full outcome accounting, latency percentiles, and an
+// SLO verdict; its requests are tagged origin=loadgen and carry seeded
+// traceparents so they stay distinguishable from organic traffic:
 //
 //	dnacompd -model rules.json -loadgen self -requests 64 -conc 8
 //	dnacompd -loadgen http://127.0.0.1:8080 -requests 256 -conc 16 -seed 7
@@ -45,6 +59,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -88,6 +103,10 @@ func realMain() int {
 		fleetFaultRate   = flag.Float64("fleet-fault-rate", 0, "per-shard transient fault rate in [0,1) for -fleet-shards mode")
 		fleetSeed        = flag.Uint64("fleet-seed", 2015, "seed for fleet placement and per-shard fault schedules")
 
+		tracePath   = flag.String("trace", "", "append one JSON line per traced request (trace ID, endpoint, span tree) to this file")
+		recorder    = flag.Int("recorder", 0, "flight-recorder capacity behind /debug/requests (0 = 256, negative disables)")
+		obsSelftest = flag.Bool("obs-selftest", false, "boot an in-process daemon and verify trace continuity server->fleet, recorder attribution and the SLO verdict; exit 0/1")
+
 		loadgen  = flag.String("loadgen", "", "run the deterministic load generator instead of serving: a daemon URL, or \"self\" to drive an in-process daemon")
 		requests = flag.Int("requests", 64, "load units to issue in -loadgen mode")
 		conc     = flag.Int("conc", 8, "concurrent load workers in -loadgen mode")
@@ -107,6 +126,10 @@ func realMain() int {
 		return 2
 	}
 
+	if *obsSelftest {
+		return runObsSelftest()
+	}
+
 	// A pure-URL loadgen run needs no engine of its own.
 	if *loadgen != "" && *loadgen != "self" {
 		return runLoadgen(*loadgen, *requests, *conc, *seed, *minBases, *maxBases, nil)
@@ -123,6 +146,15 @@ func realMain() int {
 		fmt.Fprintln(os.Stderr, "dnacompd:", err)
 		return 1
 	}
+	var traceSink *os.File
+	if *tracePath != "" {
+		traceSink, err = os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dnacompd: -trace:", err)
+			return 2
+		}
+		defer traceSink.Close()
+	}
 	srv, err := serve.NewServer(serve.Config{
 		Engine:            engine,
 		Workers:           *workers,
@@ -132,6 +164,8 @@ func realMain() int {
 		MaxStored:         *maxStored,
 		RetryAfterSeconds: *retryAfter,
 		FleetStore:        fleet,
+		RecorderSize:      *recorder,
+		TraceSink:         sinkOrNil(traceSink),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnacompd:", err)
@@ -262,6 +296,16 @@ func runLoadgen(target string, requests, conc int, seed int64, minBases, maxBase
 		return 1
 	}
 	return 0
+}
+
+// sinkOrNil keeps serve.Config.TraceSink a true nil interface when no
+// -trace file was opened (a typed-nil *os.File would read as "sink
+// configured" and trace every request).
+func sinkOrNil(f *os.File) io.Writer {
+	if f == nil {
+		return nil
+	}
+	return f
 }
 
 // cfgWorkers / cfgQueue echo the effective sizing the serve package will

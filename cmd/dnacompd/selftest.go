@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/srl-nuces/ctxdna/internal/cloud"
+	"github.com/srl-nuces/ctxdna/internal/obs"
+	"github.com/srl-nuces/ctxdna/internal/serve"
+	"github.com/srl-nuces/ctxdna/internal/synth"
+)
+
+// runObsSelftest is the `make obs-trace` gate: boot a real daemon (fleet-
+// backed store, seeded trace IDs) in-process, drive one traced compress
+// through it, and verify the observability plane end to end — the caller's
+// trace ID survives serve -> codec -> fleet replica, the flight recorder
+// replays the request's codec/shard/breaker attribution, and /debug/slo
+// folds the run into a non-empty verdict. Exit 0 on success, 1 with a
+// reason on the first broken link.
+func runObsSelftest() int {
+	if err := obsSelftest(); err != nil {
+		fmt.Fprintln(os.Stderr, "dnacompd: obs-selftest:", err)
+		return 1
+	}
+	fmt.Println("dnacompd: obs-selftest: ok (trace continuity, recorder attribution, SLO verdict)")
+	return 0
+}
+
+func obsSelftest() error {
+	// A compact trained model keeps the gate fast while still exercising
+	// real selection; the fleet gives the trace a replica hop to cross.
+	engine, err := serve.TrainEngine(
+		synth.CorpusSpec{NumFiles: 6, MinSize: 2 << 10, MaxSize: 16 << 10, Seed: 7},
+		"cart",
+		[]string{"gzip", "twobit"},
+	)
+	if err != nil {
+		return fmt.Errorf("training model: %w", err)
+	}
+	fleet, err := cloud.NewFleet(cloud.FleetConfig{
+		Shards:      cloud.DefaultShardSpecs(4, 0, 5),
+		Replication: 2,
+		Seed:        42,
+		Registry:    obs.NewRegistry(),
+	})
+	if err != nil {
+		return fmt.Errorf("building fleet: %w", err)
+	}
+	srv, err := serve.NewServer(serve.Config{
+		Engine:     engine,
+		FleetStore: fleet,
+		Registry:   obs.NewRegistry(),
+		IDs:        obs.NewSeededIDSource(2015),
+	})
+	if err != nil {
+		return err
+	}
+	ds, err := obs.NewDebugServer("127.0.0.1:0", srv.Handler())
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- ds.Serve() }()
+	defer func() {
+		srv.BeginDrain()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = ds.Shutdown(sctx)
+		<-serveErr
+		srv.Close()
+	}()
+
+	const callerTrace = "0af7651916cd43dd8448eb211c80319c"
+	const callerSpan = "b7ad6b7169203331"
+	body := bytes.Repeat([]byte("ACGTTACGGATCC"), 512)
+	req, err := http.NewRequest(http.MethodPost, ds.URL()+"/compress?name=selftest&trace=1", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Traceparent", obs.FormatTraceparent(callerTrace, callerSpan))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("compress: %w", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("compress: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+
+	var env struct {
+		Status  int             `json:"status"`
+		TraceID string          `json:"trace_id"`
+		Trace   []*obs.SpanTree `json:"trace"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return fmt.Errorf("decoding trace envelope: %w", err)
+	}
+	if env.TraceID != callerTrace {
+		return fmt.Errorf("trace ID %q did not survive propagation (sent %q)", env.TraceID, callerTrace)
+	}
+	if len(env.Trace) != 1 || env.Trace[0].Name != "serve.compress" {
+		return fmt.Errorf("expected a single serve.compress root, got %d roots", len(env.Trace))
+	}
+	root := env.Trace[0]
+	if root.ParentSpanID != callerSpan {
+		return fmt.Errorf("root span parented on %q, want the caller's %q", root.ParentSpanID, callerSpan)
+	}
+	broken := ""
+	hasCodec := false
+	root.Walk(func(n *obs.SpanTree) {
+		if n.TraceID != callerTrace && broken == "" {
+			broken = n.Name
+		}
+		if strings.HasPrefix(n.Name, "codec.") {
+			hasCodec = true
+		}
+	})
+	if broken != "" {
+		return fmt.Errorf("span %q broke out of trace %s", broken, callerTrace)
+	}
+	if !hasCodec {
+		return fmt.Errorf("no codec span in the trace")
+	}
+	if root.Find("fleet.replica.put") == nil {
+		return fmt.Errorf("trace never reached a fleet replica (no fleet.replica.put span)")
+	}
+
+	var recDoc struct {
+		Requests []obs.RequestRecord `json:"requests"`
+	}
+	if err := getJSON(ds.URL()+"/debug/requests", &recDoc); err != nil {
+		return err
+	}
+	var rec *obs.RequestRecord
+	for i := range recDoc.Requests {
+		if recDoc.Requests[i].StoreName == "selftest" {
+			rec = &recDoc.Requests[i]
+		}
+	}
+	switch {
+	case rec == nil:
+		return fmt.Errorf("/debug/requests has no record for the stored container")
+	case rec.TraceID != callerTrace:
+		return fmt.Errorf("recorder trace ID %q, want %q", rec.TraceID, callerTrace)
+	case rec.Codec == "" || rec.CodecSource == "":
+		return fmt.Errorf("recorder lacks codec attribution: %+v", rec)
+	case len(rec.Shards) != 2:
+		return fmt.Errorf("recorder shard set %v, want 2 replicas", rec.Shards)
+	case len(rec.Breakers) != 4:
+		return fmt.Errorf("recorder breaker map %v, want all 4 shards", rec.Breakers)
+	}
+
+	var sloDoc struct {
+		Verdict    string          `json:"verdict"`
+		Objectives []obs.SLOStatus `json:"objectives"`
+	}
+	if err := getJSON(ds.URL()+"/debug/slo", &sloDoc); err != nil {
+		return err
+	}
+	if sloDoc.Verdict == "" {
+		return fmt.Errorf("/debug/slo verdict is empty")
+	}
+	if len(sloDoc.Objectives) == 0 {
+		return fmt.Errorf("/debug/slo reports no objectives")
+	}
+	return nil
+}
+
+// getJSON fetches url and decodes the JSON body into out.
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("%s: %w", url, err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("%s: decoding: %w", url, err)
+	}
+	return nil
+}

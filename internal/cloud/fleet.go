@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -693,7 +694,21 @@ func (f *Fleet) CreateContainer(name string) error {
 // are safe; callers serialize Puts to the same blob (the exchange
 // pipeline's retry loop already does).
 func (f *Fleet) Put(container, blob string, data []byte) error {
+	return f.PutCtx(context.Background(), container, blob, data)
+}
+
+// PutCtx is Put with request-scoped tracing: under an active tracer in ctx
+// it records a "fleet.put" span whose children are one "fleet.replica.put"
+// span per replica attempt, each tagged with its shard name and outcome,
+// so a request trace shows exactly which replicas carried the write.
+// Tracing never changes behavior — without a tracer this is Put.
+func (f *Fleet) PutCtx(ctx context.Context, container, blob string, data []byte) error {
 	reps := f.replicaShards(container, blob)
+	ctx, span := obs.Start(ctx, "fleet.put")
+	defer span.End()
+	span.SetAttr("container", container)
+	span.SetAttr("blob", blob)
+	span.SetAttr("replicas", len(reps))
 	env := sealVersion(f.nextVersion(container, blob), data)
 	results := make([]error, len(reps))
 	var wg sync.WaitGroup
@@ -701,6 +716,9 @@ func (f *Fleet) Put(container, blob string, data []byte) error {
 		wg.Add(1)
 		go func(i int, sh *fleetShard) {
 			defer wg.Done()
+			_, rspan := obs.Start(ctx, "fleet.replica.put")
+			defer rspan.End()
+			rspan.SetAttr("shard", sh.spec.Name)
 			results[i] = f.shardOp(sh, "put", len(env), func(st Store) error {
 				err := st.Put(container, blob, env)
 				if err != nil && errors.Is(err, ErrNotFound) {
@@ -713,6 +731,7 @@ func (f *Fleet) Put(container, blob string, data []byte) error {
 				}
 				return err
 			})
+			rspan.SetAttr("outcome", replicaOutcome(results[i]))
 		}(i, sh)
 	}
 	wg.Wait()
@@ -733,6 +752,7 @@ func (f *Fleet) Put(container, blob string, data []byte) error {
 	if acks > 0 && acks < len(reps) {
 		f.reg.Counter("dna_fleet_failovers_total", "Ops that succeeded despite replica failures.", "op", "put").Inc()
 	}
+	span.SetAttr("acks", acks)
 	if acks < f.cfg.WriteQuorum {
 		f.opOutcome("put", "degraded")
 		return &DegradedError{Op: "put", Container: container, Blob: blob, Acks: acks, Need: f.cfg.WriteQuorum, Replicas: len(reps), Failures: failures}
@@ -750,7 +770,19 @@ func (f *Fleet) Put(container, blob string, data []byte) error {
 // blob is unavailable only when every replica's shard failed: all-miss is
 // ErrNotFound, anything else a *DegradedError with per-shard attribution.
 func (f *Fleet) Get(container, blob string) ([]byte, error) {
+	return f.GetCtx(context.Background(), container, blob)
+}
+
+// GetCtx is Get with request-scoped tracing: a "fleet.get" span with one
+// "fleet.replica.get" child per replica attempted (the quorum loop stops
+// early, so the trace shows which replicas were actually consulted).
+func (f *Fleet) GetCtx(ctx context.Context, container, blob string) ([]byte, error) {
 	reps := f.replicaShards(container, blob)
+	ctx, span := obs.Start(ctx, "fleet.get")
+	defer span.End()
+	span.SetAttr("container", container)
+	span.SetAttr("blob", blob)
+	span.SetAttr("replicas", len(reps))
 	var (
 		best      []byte
 		bestVer   uint64
@@ -761,11 +793,18 @@ func (f *Fleet) Get(container, blob string) ([]byte, error) {
 	)
 	for _, sh := range reps {
 		var env []byte
-		err := f.shardOp(sh, "get", 0, func(st Store) error {
-			var gerr error
-			env, gerr = st.Get(container, blob)
+		err := func() error {
+			_, rspan := obs.Start(ctx, "fleet.replica.get")
+			defer rspan.End()
+			rspan.SetAttr("shard", sh.spec.Name)
+			gerr := f.shardOp(sh, "get", 0, func(st Store) error {
+				var serr error
+				env, serr = st.Get(container, blob)
+				return serr
+			})
+			rspan.SetAttr("outcome", replicaOutcome(gerr))
 			return gerr
-		})
+		}()
 		switch {
 		case err == nil:
 			ver, payload, perr := openVersion(env)
@@ -787,6 +826,7 @@ func (f *Fleet) Get(container, blob string) ([]byte, error) {
 			break
 		}
 	}
+	span.SetAttr("acks", successes)
 	switch {
 	case successes >= f.cfg.ReadQuorum:
 		f.opOutcome("get", "ok")
@@ -814,16 +854,31 @@ func (f *Fleet) Get(container, blob string) ([]byte, error) {
 // that already lacks the blob counts as acknowledged — deletes are
 // idempotent — and WriteQuorum acks make the delete durable.
 func (f *Fleet) Delete(container, blob string) error {
+	return f.DeleteCtx(context.Background(), container, blob)
+}
+
+// DeleteCtx is Delete with request-scoped tracing ("fleet.delete" plus
+// per-replica "fleet.replica.delete" children), mirroring PutCtx.
+func (f *Fleet) DeleteCtx(ctx context.Context, container, blob string) error {
 	reps := f.replicaShards(container, blob)
+	ctx, span := obs.Start(ctx, "fleet.delete")
+	defer span.End()
+	span.SetAttr("container", container)
+	span.SetAttr("blob", blob)
+	span.SetAttr("replicas", len(reps))
 	results := make([]error, len(reps))
 	var wg sync.WaitGroup
 	for i, sh := range reps {
 		wg.Add(1)
 		go func(i int, sh *fleetShard) {
 			defer wg.Done()
+			_, rspan := obs.Start(ctx, "fleet.replica.delete")
+			defer rspan.End()
+			rspan.SetAttr("shard", sh.spec.Name)
 			results[i] = f.shardOp(sh, "delete", 0, func(st Store) error {
 				return st.Delete(container, blob)
 			})
+			rspan.SetAttr("outcome", replicaOutcome(results[i]))
 		}(i, sh)
 	}
 	wg.Wait()
@@ -850,6 +905,22 @@ func (f *Fleet) Delete(container, blob string) error {
 
 func (f *Fleet) opOutcome(op, outcome string) {
 	f.reg.Counter("dna_fleet_ops_total", "Fleet-level store operations by final outcome.", "op", op, "outcome", outcome).Inc()
+}
+
+// replicaOutcome classifies one replica attempt for span attribution.
+func replicaOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrNotFound):
+		return "miss"
+	default:
+		var boe *BreakerOpenError
+		if errors.As(err, &boe) {
+			return "breaker_open"
+		}
+		return "error"
+	}
 }
 
 // --- reporting -----------------------------------------------------------

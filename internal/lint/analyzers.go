@@ -11,6 +11,7 @@ func All() []*Analyzer {
 		ErrTaxonomy,
 		GoroutineBound,
 		RegisterInit,
+		SpanEnd,
 		StatsAdd,
 		UntrustedFlow,
 	}

@@ -111,6 +111,7 @@ func TestErrTaxonomyFixture(t *testing.T)  { checkFixture(t, ErrTaxonomy, "fixtu
 func TestRegisterInitFixture(t *testing.T) { checkFixture(t, RegisterInit, "fixtures/registerinit") }
 func TestCtxPropFixture(t *testing.T)      { checkFixture(t, CtxProp, "fixtures/ctxprop") }
 func TestStatsAddFixture(t *testing.T)     { checkFixture(t, StatsAdd, "fixtures/statsadd") }
+func TestSpanEndFixture(t *testing.T)      { checkFixture(t, SpanEnd, "fixtures/spanend") }
 
 func TestUntrustedFlowFixture(t *testing.T) {
 	checkFixture(t, UntrustedFlow, "fixtures/untrustedflow")
@@ -181,7 +182,7 @@ func TestScopes(t *testing.T) {
 			t.Errorf("%s.Scope(%s) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
 		}
 	}
-	for _, a := range []*Analyzer{RegisterInit, StatsAdd, GoroutineBound} {
+	for _, a := range []*Analyzer{RegisterInit, StatsAdd, GoroutineBound, SpanEnd} {
 		if a.Scope != nil {
 			t.Errorf("%s should apply to every package", a.Name)
 		}

@@ -1,0 +1,99 @@
+// Package spanend is a dnalint fixture: spans opened with obs.Start must
+// be reliably ended — deferred, unconditional in the same block, inside a
+// function literal — or escape the function.
+package spanend
+
+import (
+	"context"
+
+	"github.com/srl-nuces/ctxdna/internal/obs"
+)
+
+// leaked: the span is bound but never ended on any path.
+func leaked(ctx context.Context) {
+	_, span := obs.Start(ctx, "fixture.leaked") // want `span span is not reliably ended`
+	span.SetAttr("k", 1)
+}
+
+// discarded: the span result is dropped outright.
+func discarded(ctx context.Context) {
+	_, _ = obs.Start(ctx, "fixture.discarded") // want `span from obs.Start is discarded`
+}
+
+// dropped: both results thrown away in an expression statement.
+func dropped(ctx context.Context) {
+	obs.Start(ctx, "fixture.dropped") // want `span from obs.Start is discarded`
+}
+
+// conditional: End only runs on the error path — the happy path leaks.
+func conditional(ctx context.Context, fail bool) error {
+	_, span := obs.Start(ctx, "fixture.conditional") // want `span span is not reliably ended`
+	if fail {
+		span.End()
+		return context.Canceled
+	}
+	return nil
+}
+
+// deferred is the canonical clean shape.
+func deferred(ctx context.Context) {
+	_, span := obs.Start(ctx, "fixture.deferred")
+	defer span.End()
+	span.SetAttr("k", 1)
+}
+
+// deferredClosure ends the span inside a deferred function literal (the
+// exchange pattern, where attrs are stamped from named results first).
+func deferredClosure(ctx context.Context) (err error) {
+	var span *obs.Span
+	ctx, span = obs.Start(ctx, "fixture.deferred_closure")
+	defer func() {
+		span.SetAttr("err", err != nil)
+		span.End()
+	}()
+	return ctx.Err()
+}
+
+// sameBlock ends the span unconditionally later in the same block, with an
+// additional early-path End before a return.
+func sameBlock(ctx context.Context, fail bool) error {
+	_, span := obs.Start(ctx, "fixture.same_block")
+	if fail {
+		span.End()
+		return context.Canceled
+	}
+	span.SetAttr("k", 1)
+	span.End()
+	return nil
+}
+
+// closureEnd hands the End to a worker closure (the serve queue-wait
+// pattern); the closure owns the span's lifecycle from then on.
+func closureEnd(ctx context.Context, run func(func())) {
+	_, span := obs.Start(ctx, "fixture.closure")
+	run(func() {
+		span.End()
+	})
+}
+
+// escapesField parks the span in a struct; whoever finishes the request
+// ends it.
+type holder struct{ span *obs.Span }
+
+func escapesField(ctx context.Context, h *holder) {
+	_, h.span = obs.Start(ctx, "fixture.escapes_field")
+}
+
+// escapesArg passes the span along; the callee is responsible.
+func escapesArg(ctx context.Context) {
+	_, span := obs.Start(ctx, "fixture.escapes_arg")
+	finishLater(span)
+}
+
+func finishLater(s *obs.Span) { s.End() }
+
+// escapesReturn returns the span to the caller.
+func escapesReturn(ctx context.Context) *obs.Span {
+	_, span := obs.Start(ctx, "fixture.escapes_return")
+	return span
+}

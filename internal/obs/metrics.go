@@ -157,9 +157,57 @@ func labelSignature(labels []string) string {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		// %q produces Go escaping, which coincides with Prometheus
-		// label-value escaping for backslash, quote and newline.
-		fmt.Fprintf(&sb, "%s=%q", p.k, p.v)
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(p.v))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus 0.0.4 text
+// exposition format: backslash, double-quote and newline get backslash
+// escapes; everything else — including non-ASCII UTF-8 — passes through
+// raw. (Go's %q was close but wrong: it hex/unicode-escapes control and
+// non-ASCII bytes, which Prometheus parsers take literally.)
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	sb.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(v[i])
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes HELP text per the 0.0.4 format: only backslash and
+// newline are escaped (quotes are legal in HELP).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var sb strings.Builder
+	sb.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(v[i])
+		}
 	}
 	return sb.String()
 }
@@ -376,7 +424,7 @@ func snapshotSeries(sig string, h any) SeriesSnapshot {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, fs := range r.Snapshot() {
 		if fs.Help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fs.Name, fs.Help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fs.Name, escapeHelp(fs.Help)); err != nil {
 				return err
 			}
 		}
@@ -410,7 +458,7 @@ func writeSeries(w io.Writer, fs FamilySnapshot, s SeriesSnapshot) error {
 			if labels != "" {
 				labels += ","
 			}
-			labels += fmt.Sprintf("le=%q", le)
+			labels += `le="` + escapeLabelValue(le) + `"`
 			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", fs.Name, labels, b.Count); err != nil {
 				return err
 			}

@@ -37,6 +37,7 @@ const (
 	tracerKey
 	spanKey
 	metricsKey
+	remoteParentKey
 )
 
 // WithClock returns a context carrying c as the ambient time source.
@@ -122,10 +123,20 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	if tr == nil {
 		return ctx, nil
 	}
-	parent := 0
+	var parent *Span
 	if p, ok := ctx.Value(spanKey).(*Span); ok && p != nil {
-		parent = p.id
+		parent = p
 	}
-	s := tr.start(name, parent)
+	var remote RemoteParent
+	if parent == nil {
+		remote = RemoteParentFrom(ctx)
+	}
+	s := tr.start(name, parent, remote)
 	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SpanFrom returns the innermost span carried by ctx, nil when none.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
 }

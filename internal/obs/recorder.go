@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// RequestRecord is one completed request as remembered by the flight
+// recorder: enough attribution — codec choice and why, queue wait vs work
+// time, which shards held the blob, breaker states at completion — to
+// answer "why was this one slow/degraded" after the fact. All durations
+// are measured on the server's injected clock; ModeledMS is the codec's
+// modeled pipeline latency from compress.Stats, so a slow wall clock and a
+// slow model are distinguishable.
+type RequestRecord struct {
+	Seq         uint64            `json:"seq"`
+	TraceID     string            `json:"trace_id,omitempty"`
+	Endpoint    string            `json:"endpoint"`
+	Origin      string            `json:"origin,omitempty"`
+	Codec       string            `json:"codec,omitempty"`
+	CodecSource string            `json:"codec_source,omitempty"`
+	Status      int               `json:"status"`
+	Outcome     string            `json:"outcome"`
+	QueueWaitMS float64           `json:"queue_wait_ms"`
+	WorkMS      float64           `json:"work_ms"`
+	TotalMS     float64           `json:"total_ms"`
+	ModeledMS   float64           `json:"modeled_ms,omitempty"`
+	InBytes     int               `json:"in_bytes"`
+	OutBytes    int               `json:"out_bytes"`
+	Bases       int               `json:"bases,omitempty"`
+	StoreName   string            `json:"store_name,omitempty"`
+	Shards      []string          `json:"shards,omitempty"`
+	Breakers    map[string]string `json:"breakers,omitempty"`
+	Error       string            `json:"error,omitempty"`
+}
+
+// FlightRecorder is a bounded ring buffer of the last N request records.
+// Writers never block and never allocate beyond the fixed ring; once full,
+// each Record overwrites the oldest entry. A nil *FlightRecorder is a
+// valid no-op receiver, so the serve layer can disable recording by
+// leaving it nil without branching at call sites.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []RequestRecord
+	next  int // ring index of the next write
+	total uint64
+
+	// OnError, when set, is called synchronously from Record (outside the
+	// recorder lock) with a snapshot of the ring each time a record with
+	// Outcome == "error" lands — the dump-on-error hook.
+	OnError func(failed RequestRecord, recent []RequestRecord)
+}
+
+// NewFlightRecorder returns a recorder keeping the last size records
+// (size <= 0 means the 256-record default).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = 256
+	}
+	return &FlightRecorder{ring: make([]RequestRecord, 0, size)}
+}
+
+// Record stores r, assigning it the next sequence number. Safe for
+// concurrent use; the oldest record is overwritten once the ring is full.
+func (f *FlightRecorder) Record(r RequestRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.total++
+	r.Seq = f.total
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, r)
+	} else {
+		f.ring[f.next] = r
+		f.next = (f.next + 1) % cap(f.ring)
+	}
+	hook := f.OnError
+	var recent []RequestRecord
+	if hook != nil && r.Outcome == "error" {
+		recent = f.snapshotLocked()
+	}
+	f.mu.Unlock()
+	if recent != nil {
+		hook(r, recent)
+	}
+}
+
+// Snapshot returns the retained records oldest-first.
+func (f *FlightRecorder) Snapshot() []RequestRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snapshotLocked()
+}
+
+func (f *FlightRecorder) snapshotLocked() []RequestRecord {
+	out := make([]RequestRecord, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// Total returns how many records have ever been written (including ones
+// already overwritten).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Handler serves the ring as an indented JSON document:
+// {"total": N, "capacity": C, "requests": [...oldest first...]}.
+func (f *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var doc struct {
+			Total    uint64          `json:"total"`
+			Capacity int             `json:"capacity"`
+			Requests []RequestRecord `json:"requests"`
+		}
+		if f != nil {
+			f.mu.Lock()
+			doc.Total = f.total
+			doc.Capacity = cap(f.ring)
+			doc.Requests = f.snapshotLocked()
+			f.mu.Unlock()
+		}
+		if doc.Requests == nil {
+			doc.Requests = []RequestRecord{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record(RequestRecord{Endpoint: fmt.Sprintf("r%d", i)})
+	}
+	if got := f.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot kept %d records, want 4", len(snap))
+	}
+	for i, r := range snap {
+		wantSeq := uint64(7 + i) // records 7..10, oldest first
+		wantEp := fmt.Sprintf("r%d", 6+i)
+		if r.Seq != wantSeq || r.Endpoint != wantEp {
+			t.Fatalf("slot %d = seq %d endpoint %q, want seq %d endpoint %q", i, r.Seq, r.Endpoint, wantSeq, wantEp)
+		}
+	}
+}
+
+func TestFlightRecorderConcurrentWriters(t *testing.T) {
+	for _, jobs := range []int{4, 8} {
+		jobs := jobs
+		t.Run(fmt.Sprintf("jobs%d", jobs), func(t *testing.T) {
+			f := NewFlightRecorder(64)
+			const perWriter = 200
+			var wg sync.WaitGroup
+			for w := 0; w < jobs; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						f.Record(RequestRecord{Endpoint: fmt.Sprintf("w%d", w), Status: 200, Outcome: "ok"})
+						_ = f.Snapshot() // readers race writers
+					}
+				}(w)
+			}
+			wg.Wait()
+			if got := f.Total(); got != uint64(jobs*perWriter) {
+				t.Fatalf("Total = %d, want %d", got, jobs*perWriter)
+			}
+			snap := f.Snapshot()
+			if len(snap) != 64 {
+				t.Fatalf("snapshot kept %d, want 64", len(snap))
+			}
+			seen := map[uint64]bool{}
+			for i := 1; i < len(snap); i++ {
+				if snap[i].Seq <= snap[i-1].Seq {
+					t.Fatalf("snapshot not in sequence order at %d: %d then %d", i, snap[i-1].Seq, snap[i].Seq)
+				}
+			}
+			for _, r := range snap {
+				if seen[r.Seq] {
+					t.Fatalf("duplicate seq %d", r.Seq)
+				}
+				seen[r.Seq] = true
+			}
+		})
+	}
+}
+
+func TestFlightRecorderOnError(t *testing.T) {
+	f := NewFlightRecorder(8)
+	var mu sync.Mutex
+	var fired []RequestRecord
+	var ringLen int
+	f.OnError = func(failed RequestRecord, recent []RequestRecord) {
+		mu.Lock()
+		fired = append(fired, failed)
+		ringLen = len(recent)
+		mu.Unlock()
+	}
+	f.Record(RequestRecord{Endpoint: "a", Outcome: "ok"})
+	f.Record(RequestRecord{Endpoint: "b", Outcome: "error", Error: "boom"})
+	f.Record(RequestRecord{Endpoint: "c", Outcome: "rejected"})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 1 || fired[0].Endpoint != "b" || fired[0].Error != "boom" {
+		t.Fatalf("OnError fired %d times / %+v, want once for b", len(fired), fired)
+	}
+	if ringLen != 2 {
+		t.Fatalf("OnError saw %d recent records, want 2", ringLen)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(RequestRecord{}) // must not panic
+	if f.Snapshot() != nil || f.Total() != 0 {
+		t.Fatalf("nil recorder not inert")
+	}
+	rr := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/requests", nil))
+	var doc struct {
+		Total    uint64          `json:"total"`
+		Requests []RequestRecord `json:"requests"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("nil handler emitted invalid JSON: %v", err)
+	}
+}
+
+func TestFlightRecorderHandler(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Record(RequestRecord{
+		TraceID:  "abc123",
+		Endpoint: "compress",
+		Origin:   "organic",
+		Codec:    "dnax",
+		Status:   200,
+		Outcome:  "ok",
+		Shards:   []string{"ssd-east", "hdd-archive"},
+		Breakers: map[string]string{"ssd-east": "closed"},
+	})
+	rr := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/requests", nil))
+	var doc struct {
+		Total    uint64          `json:"total"`
+		Capacity int             `json:"capacity"`
+		Requests []RequestRecord `json:"requests"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rr.Body.String())
+	}
+	if doc.Total != 1 || doc.Capacity != 4 || len(doc.Requests) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	r := doc.Requests[0]
+	if r.TraceID != "abc123" || r.Codec != "dnax" || len(r.Shards) != 2 || r.Breakers["ssd-east"] != "closed" {
+		t.Fatalf("attribution lost: %+v", r)
+	}
+}

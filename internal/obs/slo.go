@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The SLO engine turns raw obs series into service-level verdicts:
+// declarative objectives ("99% of compress requests under 250 ms", "99.9%
+// of requests succeed") are sampled on the injected clock and evaluated as
+// multi-window burn rates — the Google-SRE alerting shape where a fast
+// window (minutes) catches sudden cliffs and a slow window (an hour)
+// catches slow bleeds, and an alert fires only while the error budget is
+// actually being consumed faster than BurnAlert times the sustainable
+// rate. Because sampling runs on an obs.Clock, unit tests with NewFake get
+// exact, reproducible burn numbers.
+
+// Objective is one declarative service-level objective. Exactly one of the
+// two shapes is used:
+//
+//   - latency: Histogram + ThresholdMS. Good events are observations at or
+//     under the threshold (read from the histogram's cumulative buckets, so
+//     the threshold should sit on a bucket bound; otherwise the next lower
+//     bound is used, which under-counts good events — the conservative
+//     direction).
+//   - availability: Total + Bad counters. Good events are Total − Bad.
+type Objective struct {
+	// Name identifies the objective in exports and verdicts.
+	Name string
+	// Target is the good-event ratio the objective promises, e.g. 0.99.
+	Target float64
+
+	// Histogram and ThresholdMS define a latency objective.
+	Histogram   *Histogram
+	ThresholdMS float64
+
+	// Total and Bad define an availability objective.
+	Total *Counter
+	Bad   *Counter
+}
+
+// counts reads the objective's current cumulative good/total event counts.
+func (o *Objective) counts() (good, total uint64) {
+	if o.Histogram != nil {
+		total = o.Histogram.Count()
+		var cum uint64
+		for i, bound := range o.Histogram.bounds {
+			if bound > o.ThresholdMS {
+				break
+			}
+			cum += o.Histogram.counts[i].Load()
+		}
+		return cum, total
+	}
+	total = o.Total.Value()
+	bad := o.Bad.Value()
+	if bad > total {
+		bad = total
+	}
+	return total - bad, total
+}
+
+// SLOConfig tunes the engine's windows and alerting threshold. The zero
+// value means the defaults noted per field.
+type SLOConfig struct {
+	// FastWindow is the short burn-rate window (default 5m).
+	FastWindow time.Duration
+	// SlowWindow is the long burn-rate window and the sample retention
+	// horizon (default 1h).
+	SlowWindow time.Duration
+	// BurnAlert is the burn-rate multiple above which an objective alerts
+	// on both windows (default 14.4 — the classic "2% of a 30-day budget
+	// in one hour" multiplier).
+	BurnAlert float64
+	// MinSampleGap rate-limits sampling so per-request evaluation doesn't
+	// grow the sample ring (default 1s).
+	MinSampleGap time.Duration
+	// MaxSamples bounds retained samples per objective (default 4096).
+	MaxSamples int
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.FastWindow <= 0 {
+		c.FastWindow = 5 * time.Minute
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = time.Hour
+	}
+	if c.BurnAlert <= 0 {
+		c.BurnAlert = 14.4
+	}
+	if c.MinSampleGap <= 0 {
+		c.MinSampleGap = time.Second
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 4096
+	}
+	return c
+}
+
+// burnCap stands in for an infinite burn rate (error budget zero while
+// errors arrive). Finite so statuses always survive json.Marshal.
+const burnCap = 1e9
+
+// SLOStatus is one objective's evaluation at a point in time.
+type SLOStatus struct {
+	Name       string  `json:"name"`
+	Target     float64 `json:"target"`
+	Good       uint64  `json:"good"`
+	Total      uint64  `json:"total"`
+	Compliance float64 `json:"compliance"`
+	FastBurn   float64 `json:"fast_burn"`
+	SlowBurn   float64 `json:"slow_burn"`
+	Alert      bool    `json:"alert"`
+	// Verdict is "ok", "burn" (both windows over BurnAlert) or "breach"
+	// (cumulative compliance under target).
+	Verdict string `json:"verdict"`
+}
+
+type sloSample struct {
+	at          time.Time
+	good, total uint64
+}
+
+type objectiveState struct {
+	obj     Objective
+	samples []sloSample
+
+	compliance *Gauge
+	fastBurn   *Gauge
+	slowBurn   *Gauge
+	target     *Gauge
+	alert      *Gauge
+}
+
+// SLOEngine evaluates a fixed set of objectives on an injected clock and
+// exports the results as dna_slo_* gauges. Safe for concurrent use.
+type SLOEngine struct {
+	clock Clock
+	cfg   SLOConfig
+
+	mu     sync.Mutex
+	states []*objectiveState
+}
+
+// NewSLOEngine builds an engine over the objectives, sampling on clock
+// (nil means system) and exporting dna_slo_* gauges into reg (nil means
+// the process default registry).
+func NewSLOEngine(clock Clock, reg *Registry, cfg SLOConfig, objectives ...Objective) *SLOEngine {
+	if clock == nil {
+		clock = System()
+	}
+	reg = OrDefault(reg)
+	e := &SLOEngine{clock: clock, cfg: cfg.withDefaults()}
+	for _, o := range objectives {
+		e.states = append(e.states, &objectiveState{
+			obj:        o,
+			compliance: reg.Gauge("dna_slo_compliance", "Cumulative good/total event ratio per objective.", "objective", o.Name),
+			fastBurn:   reg.Gauge("dna_slo_burn_rate", "Error-budget burn-rate multiple per objective and window.", "objective", o.Name, "window", "fast"),
+			slowBurn:   reg.Gauge("dna_slo_burn_rate", "Error-budget burn-rate multiple per objective and window.", "objective", o.Name, "window", "slow"),
+			target:     reg.Gauge("dna_slo_target", "Objective target ratio.", "objective", o.Name),
+			alert:      reg.Gauge("dna_slo_alert", "1 while an objective's burn rate exceeds the alert threshold on both windows.", "objective", o.Name),
+		})
+	}
+	return e
+}
+
+// Evaluate samples every objective (subject to MinSampleGap), computes
+// compliance and fast/slow burn rates, refreshes the dna_slo_* gauges, and
+// returns the statuses in objective order.
+func (e *SLOEngine) Evaluate() []SLOStatus {
+	if e == nil {
+		return nil
+	}
+	now := e.clock.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SLOStatus, 0, len(e.states))
+	for _, st := range e.states {
+		out = append(out, e.evaluateLocked(st, now))
+	}
+	return out
+}
+
+func (e *SLOEngine) evaluateLocked(st *objectiveState, now time.Time) SLOStatus {
+	good, total := st.obj.counts()
+	n := len(st.samples)
+	if n == 0 || now.Sub(st.samples[n-1].at) >= e.cfg.MinSampleGap {
+		st.samples = append(st.samples, sloSample{at: now, good: good, total: total})
+		n++
+	}
+	// Prune: keep at most MaxSamples, and drop samples older than the slow
+	// window except the newest such sample, which anchors the slow delta.
+	horizon := now.Add(-e.cfg.SlowWindow)
+	cut := sort.Search(n, func(i int) bool { return !st.samples[i].at.Before(horizon) })
+	if cut > 0 {
+		cut-- // retain one pre-horizon anchor
+	}
+	if over := n - cut - e.cfg.MaxSamples; over > 0 {
+		cut += over
+	}
+	if cut > 0 {
+		st.samples = append(st.samples[:0], st.samples[cut:]...)
+	}
+
+	status := SLOStatus{Name: st.obj.Name, Target: st.obj.Target, Good: good, Total: total, Compliance: 1}
+	if total > 0 {
+		status.Compliance = float64(good) / float64(total)
+	}
+	status.FastBurn = e.burnLocked(st, now, e.cfg.FastWindow, good, total)
+	status.SlowBurn = e.burnLocked(st, now, e.cfg.SlowWindow, good, total)
+	status.Alert = status.FastBurn >= e.cfg.BurnAlert && status.SlowBurn >= e.cfg.BurnAlert
+	switch {
+	case status.Alert:
+		status.Verdict = "burn"
+	case status.Compliance < status.Target:
+		status.Verdict = "breach"
+	default:
+		status.Verdict = "ok"
+	}
+
+	st.compliance.Set(status.Compliance)
+	st.fastBurn.Set(status.FastBurn)
+	st.slowBurn.Set(status.SlowBurn)
+	st.target.Set(status.Target)
+	if status.Alert {
+		st.alert.Set(1)
+	} else {
+		st.alert.Set(0)
+	}
+	return status
+}
+
+// burnLocked computes the burn-rate multiple over the trailing window: the
+// window's error rate divided by the sustainable error rate (1 − target).
+func (e *SLOEngine) burnLocked(st *objectiveState, now time.Time, window time.Duration, good, total uint64) float64 {
+	start := now.Add(-window)
+	// Newest sample at or before the window start; the oldest sample when
+	// the whole history fits inside the window.
+	base := st.samples[0]
+	for _, s := range st.samples {
+		if s.at.After(start) {
+			break
+		}
+		base = s
+	}
+	dTotal := total - base.total
+	dBad := (total - good) - (base.total - base.good)
+	if dTotal == 0 {
+		return 0
+	}
+	errRate := float64(dBad) / float64(dTotal)
+	budget := 1 - st.obj.Target
+	if budget <= 0 {
+		if errRate > 0 {
+			return burnCap
+		}
+		return 0
+	}
+	burn := errRate / budget
+	if burn > burnCap {
+		burn = burnCap
+	}
+	return burn
+}
+
+// Verdict folds statuses into one word: "pass" when every objective is
+// "ok", otherwise "fail:" plus the comma-joined failing objective names.
+func Verdict(statuses []SLOStatus) string {
+	var failing []string
+	for _, s := range statuses {
+		if s.Verdict != "ok" {
+			failing = append(failing, s.Name)
+		}
+	}
+	if len(failing) == 0 {
+		return "pass"
+	}
+	out := "fail:"
+	for i, n := range failing {
+		if i > 0 {
+			out += ","
+		}
+		out += n
+	}
+	return out
+}
+
+// Handler serves the current evaluation as an indented JSON document:
+// {"verdict": "...", "objectives": [...]}.
+func (e *SLOEngine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		statuses := e.Evaluate()
+		if statuses == nil {
+			statuses = []SLOStatus{}
+		}
+		doc := struct {
+			Verdict    string      `json:"verdict"`
+			Objectives []SLOStatus `json:"objectives"`
+		}{Verdict: Verdict(statuses), Objectives: statuses}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+}

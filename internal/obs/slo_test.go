@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// sloHarness wires an availability objective over fresh counters onto a
+// fake clock. Targets in these tests use dyadic budgets (0.25, 0.5, 0) so
+// burn-rate divisions are exact in float64 and assertions can use ==.
+type sloHarness struct {
+	clock  *Fake
+	reg    *Registry
+	total  *Counter
+	bad    *Counter
+	engine *SLOEngine
+}
+
+func newSLOHarness(t *testing.T, target float64) *sloHarness {
+	t.Helper()
+	h := &sloHarness{clock: NewFake(time.Unix(1_000_000, 0)), reg: NewRegistry()}
+	h.total = h.reg.Counter("req_total", "requests")
+	h.bad = h.reg.Counter("req_errors", "errors")
+	h.engine = NewSLOEngine(h.clock, h.reg, SLOConfig{
+		FastWindow:   10 * time.Second,
+		SlowWindow:   100 * time.Second,
+		BurnAlert:    2,
+		MinSampleGap: time.Second,
+	}, Objective{Name: "availability", Target: target, Total: h.total, Bad: h.bad})
+	return h
+}
+
+func TestSLOBurnRateExact(t *testing.T) {
+	h := newSLOHarness(t, 0.75) // budget = 0.25
+	// t=0: no traffic yet; anchor sample.
+	if st := h.engine.Evaluate()[0]; st.FastBurn != 0 || st.SlowBurn != 0 || st.Verdict != "ok" {
+		t.Fatalf("idle status = %+v", st)
+	}
+	// 100 requests, 5 errors land within the fast window.
+	h.clock.Advance(5 * time.Second)
+	h.total.Add(100)
+	h.bad.Add(5)
+	st := h.engine.Evaluate()[0]
+	// Window error rate 5/100 = 0.05; budget 0.25 → burn = 0.2 on both
+	// windows, exactly (division by a power of two).
+	if st.FastBurn != 0.2 || st.SlowBurn != 0.2 {
+		t.Fatalf("burn = %v/%v, want 0.2/0.2", st.FastBurn, st.SlowBurn)
+	}
+	if st.Compliance != 0.95 || st.Verdict != "ok" {
+		t.Fatalf("status = %+v, want compliance 0.95 ok", st)
+	}
+
+	// 20 seconds later the errors age out of the 10 s fast window while 400
+	// clean requests arrive: fast burn is computed against the newest
+	// pre-window sample (t=5, total=100, bad=5), so fast errors are 0/400.
+	h.clock.Advance(20 * time.Second)
+	h.total.Add(400)
+	st = h.engine.Evaluate()[0]
+	if st.FastBurn != 0 {
+		t.Fatalf("fast burn = %v, want 0 after errors aged out", st.FastBurn)
+	}
+	// Slow window still sees all 5 errors over 500 requests: 0.01/0.25.
+	if st.SlowBurn != 0.04 {
+		t.Fatalf("slow burn = %v, want 0.04", st.SlowBurn)
+	}
+	if st.Good != 495 || st.Total != 500 || st.Compliance != 0.99 {
+		t.Fatalf("cumulative = %+v", st)
+	}
+	if st.Verdict != "ok" {
+		t.Fatalf("verdict = %q, want ok", st.Verdict)
+	}
+}
+
+func TestSLOAlertRequiresBothWindows(t *testing.T) {
+	h := newSLOHarness(t, 0.75)
+	h.engine.Evaluate()
+	// Sudden cliff: every request errors. Burn = 1.0/0.25 = 4 ≥ the alert
+	// threshold of 2 on the fast window, and with all history inside the
+	// slow window, slow burn matches → alert.
+	h.clock.Advance(2 * time.Second)
+	h.total.Add(50)
+	h.bad.Add(50)
+	st := h.engine.Evaluate()[0]
+	if st.FastBurn != 4 || st.SlowBurn != 4 {
+		t.Fatalf("burn = %v/%v, want 4/4", st.FastBurn, st.SlowBurn)
+	}
+	if !st.Alert || st.Verdict != "burn" {
+		t.Fatalf("status = %+v, want alert+burn", st)
+	}
+	// Gauges export the same numbers.
+	if g := h.reg.Gauge("dna_slo_alert", "", "objective", "availability"); g.Value() != 1 {
+		t.Fatalf("dna_slo_alert = %v, want 1", g.Value())
+	}
+	if g := h.reg.Gauge("dna_slo_burn_rate", "", "objective", "availability", "window", "fast"); g.Value() != 4 {
+		t.Fatalf("dna_slo_burn_rate fast = %v, want 4", g.Value())
+	}
+
+	// Recovery: clean traffic ages the cliff out of the fast window; the
+	// alert clears even though the slow window still burns.
+	h.clock.Advance(15 * time.Second)
+	h.total.Add(1000)
+	st = h.engine.Evaluate()[0]
+	if st.FastBurn != 0 {
+		t.Fatalf("fast burn after recovery = %v, want 0", st.FastBurn)
+	}
+	if st.Alert {
+		t.Fatalf("alert stuck on after fast window recovered: %+v", st)
+	}
+}
+
+func TestSLOLatencyObjective(t *testing.T) {
+	clock := NewFake(time.Unix(0, 0))
+	reg := NewRegistry()
+	hist := reg.Histogram("lat_ms", "latency", []float64{10, 50, 250, 1000})
+	eng := NewSLOEngine(clock, reg, SLOConfig{
+		FastWindow: 10 * time.Second, SlowWindow: 100 * time.Second, BurnAlert: 14.4,
+	}, Objective{Name: "latency", Target: 0.75, Histogram: hist, ThresholdMS: 250})
+	eng.Evaluate()
+	clock.Advance(5 * time.Second)
+	// 5 fast, 3 slow: window error rate 0.375, budget 0.25 → burn 1.5.
+	for i := 0; i < 4; i++ {
+		hist.Observe(5)
+	}
+	hist.Observe(250) // le semantics: exactly at threshold counts as good
+	hist.Observe(300)
+	hist.Observe(900)
+	hist.Observe(5000) // lands in +Inf bucket
+	st := eng.Evaluate()[0]
+	if st.Good != 5 || st.Total != 8 {
+		t.Fatalf("good/total = %d/%d, want 5/8", st.Good, st.Total)
+	}
+	if st.FastBurn != 1.5 {
+		t.Fatalf("fast burn = %v, want 1.5", st.FastBurn)
+	}
+	if st.Compliance != 0.625 || st.Verdict != "breach" {
+		t.Fatalf("status = %+v, want compliance 0.625 breach", st)
+	}
+}
+
+func TestSLOZeroBudgetCapsFinite(t *testing.T) {
+	h := newSLOHarness(t, 1.0) // zero error budget
+	h.engine.Evaluate()
+	h.clock.Advance(2 * time.Second)
+	h.total.Add(10)
+	h.bad.Add(1)
+	st := h.engine.Evaluate()[0]
+	if math.IsInf(st.FastBurn, 0) || st.FastBurn != burnCap {
+		t.Fatalf("zero-budget burn = %v, want finite cap %v", st.FastBurn, burnCap)
+	}
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatalf("status not marshalable: %v", err)
+	}
+}
+
+func TestSLOHandlerAndVerdict(t *testing.T) {
+	h := newSLOHarness(t, 0.5)
+	h.total.Add(4)
+	rr := httptest.NewRecorder()
+	h.engine.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slo", nil))
+	var doc struct {
+		Verdict    string      `json:"verdict"`
+		Objectives []SLOStatus `json:"objectives"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rr.Body.String())
+	}
+	if doc.Verdict != "pass" || len(doc.Objectives) != 1 || doc.Objectives[0].Name != "availability" {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if v := Verdict([]SLOStatus{{Name: "a", Verdict: "ok"}, {Name: "b", Verdict: "burn"}, {Name: "c", Verdict: "breach"}}); v != "fail:b,c" {
+		t.Fatalf("Verdict = %q, want fail:b,c", v)
+	}
+	if v := Verdict(nil); v != "pass" {
+		t.Fatalf("Verdict(nil) = %q, want pass", v)
+	}
+}

@@ -24,6 +24,13 @@ type SpanRecord struct {
 	StartUnixNano int64  `json:"start_unix_nano"`
 	DurationNS    int64  `json:"duration_ns"`
 	Attrs         []Attr `json:"attrs,omitempty"`
+
+	// Distributed identity (W3C trace-context), present only on tracers
+	// built with NewTracerWithIDs or when the root joined a RemoteParent.
+	// omitempty keeps plain-tracer JSON exports byte-identical to before.
+	TraceID      string `json:"trace_id,omitempty"`
+	SpanID       string `json:"span_id,omitempty"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
 }
 
 // Tracer collects finished spans. Create one per run (NewTracer), install
@@ -31,6 +38,7 @@ type SpanRecord struct {
 // WriteJSON. Safe for concurrent use.
 type Tracer struct {
 	clock Clock
+	ids   IDSource // nil: spans carry local int IDs only
 
 	mu       sync.Mutex
 	nextID   int
@@ -46,12 +54,37 @@ func NewTracer(clock Clock) *Tracer {
 	return &Tracer{clock: clock}
 }
 
-func (t *Tracer) start(name string, parent int) *Span {
+// NewTracerWithIDs returns a tracer whose spans additionally carry W3C
+// trace/span IDs drawn from ids. A root span mints a fresh trace ID (or
+// joins the context's RemoteParent); children inherit the trace ID and
+// link to their parent's span ID. A seeded IDSource makes the whole
+// export deterministic.
+func NewTracerWithIDs(clock Clock, ids IDSource) *Tracer {
+	t := NewTracer(clock)
+	t.ids = ids
+	return t
+}
+
+func (t *Tracer) start(name string, parent *Span, remote RemoteParent) *Span {
 	t.mu.Lock()
 	t.nextID++
 	id := t.nextID
 	t.mu.Unlock()
-	return &Span{tracer: t, id: id, parent: parent, name: name, start: t.clock.Now()}
+	s := &Span{tracer: t, id: id, name: name, start: t.clock.Now()}
+	if parent != nil {
+		s.parent = parent.id
+		s.traceID = parent.traceID
+		s.parentSpanID = parent.spanID
+	} else if remote.TraceID != "" {
+		s.traceID = remote.TraceID
+		s.parentSpanID = remote.SpanID
+	} else if t.ids != nil {
+		s.traceID = t.ids.TraceID()
+	}
+	if s.traceID != "" && t.ids != nil {
+		s.spanID = t.ids.SpanID()
+	}
+	return s
 }
 
 // Records returns a copy of the finished spans in End order.
@@ -78,9 +111,39 @@ type Span struct {
 	name   string
 	start  time.Time
 
+	traceID      string
+	spanID       string
+	parentSpanID string
+
 	mu    sync.Mutex
 	attrs []Attr
 	ended bool
+}
+
+// TraceID returns the span's W3C trace ID ("" on a plain tracer or nil
+// span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's W3C span ID ("" on a plain tracer or nil span).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.spanID
+}
+
+// Traceparent renders the span as an outbound W3C traceparent header, ""
+// when the span has no distributed identity.
+func (s *Span) Traceparent() string {
+	if s == nil || s.traceID == "" || s.spanID == "" {
+		return ""
+	}
+	return FormatTraceparent(s.traceID, s.spanID)
 }
 
 // SetAttr attaches a key/value attribute to the span.
@@ -112,6 +175,9 @@ func (s *Span) End() {
 		StartUnixNano: s.start.UnixNano(),
 		DurationNS:    s.tracer.clock.Since(s.start).Nanoseconds(),
 		Attrs:         append([]Attr(nil), s.attrs...),
+		TraceID:       s.traceID,
+		SpanID:        s.spanID,
+		ParentSpanID:  s.parentSpanID,
 	}
 	s.mu.Unlock()
 

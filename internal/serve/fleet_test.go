@@ -81,14 +81,14 @@ func TestRetryAfterOnEveryBackpressure(t *testing.T) {
 		wg.Add(1)
 		go func() { // holds the codec's one backlog slot
 			defer wg.Done()
-			s.submit("compress", "gatetest", func() *response {
+			s.submitPlain("compress", "gatetest", func() *response {
 				close(started)
 				<-gate
 				return okResponse()
 			})
 		}()
 		<-started
-		resp := s.submit("compress", "gatetest", okResponse)
+		resp := s.submitPlain("compress", "gatetest", okResponse)
 		if resp.status != http.StatusTooManyRequests {
 			t.Fatalf("saturated codec got %d, want 429", resp.status)
 		}
@@ -99,7 +99,7 @@ func TestRetryAfterOnEveryBackpressure(t *testing.T) {
 			t.Fatalf("codec_saturated rejections = %d, want 1", n)
 		}
 		// A different codec is unaffected by the saturated one's backlog.
-		if resp := s.submit("compress", "twobit", okResponse); resp.status != http.StatusOK {
+		if resp := s.submitPlain("compress", "twobit", okResponse); resp.status != http.StatusOK {
 			t.Fatalf("unrelated codec got %d during gatetest saturation", resp.status)
 		}
 		close(gate)

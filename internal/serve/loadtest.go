@@ -61,6 +61,11 @@ type LoadOptions struct {
 	// (dna_loadgen_latency_ms) and outcome counters; nil means
 	// obs.Default().
 	Registry *obs.Registry
+	// NoTrace suppresses the per-unit traceparent header. By default every
+	// unit carries a deterministic seed-derived trace context, so loadgen
+	// traffic shows up server-side as tagged, joinable traces; the plan is
+	// generated identically either way.
+	NoTrace bool
 }
 
 // loadUnit is one pre-generated plan entry.
@@ -70,6 +75,9 @@ type loadUnit struct {
 	ctx     core.Context
 	ranged  bool
 	off, n  int // range probe (when ranged)
+	// traceparent is the unit's W3C trace context; every call in the unit
+	// (compress, decompress, range) joins the same seed-derived trace.
+	traceparent string
 }
 
 // LatencySummary condenses one run's per-call latencies.
@@ -98,7 +106,13 @@ type LoadReport struct {
 	InputBases int64          `json:"input_bases"`
 	ByEndpoint map[string]int `json:"by_endpoint"`
 	Latency    LatencySummary `json:"latency"`
-	Errors     []string       `json:"errors,omitempty"` // first few failure details
+	// SLO is the harness-side objective evaluation over this run (latency
+	// and availability of the issued calls) and SLOVerdict its one-word
+	// fold: "pass", or "fail:" plus the failing objective names. The
+	// verdict is always non-empty.
+	SLO        []obs.SLOStatus `json:"slo"`
+	SLOVerdict string          `json:"slo_verdict"`
+	Errors     []string        `json:"errors,omitempty"` // first few failure details
 }
 
 // RunLoad executes the seed-derived plan against BaseURL and returns the
@@ -117,6 +131,17 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	reg := obs.OrDefault(opts.Registry)
 
 	units := planUnits(opts)
+	if opts.NoTrace {
+		for i := range units {
+			units[i].traceparent = ""
+		}
+	}
+
+	// The SLO engine brackets the run: the baseline evaluation anchors the
+	// burn-rate window at the pre-run counter values, so the final
+	// evaluation reports the burn of exactly this run's traffic.
+	slo := obs.NewSLOEngine(clock, reg, obs.SLOConfig{}, loadgenObjectives(reg)...)
+	slo.Evaluate()
 
 	// Workers pull unit indices; per-unit outcomes land in indexed slots so
 	// the aggregation below is independent of scheduling order.
@@ -171,12 +196,39 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	reg.Counter("dna_loadgen_calls_total", "Calls issued by the load harness.", "outcome", "completed").Add(uint64(rep.Completed))
 	reg.Counter("dna_loadgen_calls_total", "Calls issued by the load harness.", "outcome", "rejected").Add(uint64(rep.Rejected))
 	reg.Counter("dna_loadgen_calls_total", "Calls issued by the load harness.", "outcome", "failed").Add(uint64(rep.Failed))
+	reg.Counter("dna_loadgen_issued_total", "Calls issued by the load harness, all outcomes.").Add(uint64(rep.Calls))
+
+	rep.SLO = slo.Evaluate()
+	rep.SLOVerdict = obs.Verdict(rep.SLO)
 
 	if rep.Completed+rep.Rejected+rep.Failed != rep.Calls {
 		return rep, fmt.Errorf("serve: loadgen accounting broken: %d completed + %d rejected + %d failed != %d calls",
 			rep.Completed, rep.Rejected, rep.Failed, rep.Calls)
 	}
 	return rep, nil
+}
+
+// loadgenObjectives declares the harness's own SLOs over its registry
+// series: 95% of issued calls under 250 ms harness-observed latency, and
+// 99% of issued calls not failing (429 backpressure is by design not a
+// failure). Both thresholds sit on exported bucket bounds / counters so
+// the evaluation is exact.
+func loadgenObjectives(reg *obs.Registry) []obs.Objective {
+	return []obs.Objective{
+		{
+			Name:   "loadgen_latency",
+			Target: 0.95,
+			Histogram: reg.Histogram("dna_loadgen_latency_ms",
+				"Harness-observed end-to-end request latency.", obs.DefMSBuckets()),
+			ThresholdMS: 250,
+		},
+		{
+			Name:   "loadgen_availability",
+			Target: 0.99,
+			Total:  reg.Counter("dna_loadgen_issued_total", "Calls issued by the load harness, all outcomes."),
+			Bad:    reg.Counter("dna_loadgen_calls_total", "Calls issued by the load harness.", "outcome", "failed"),
+		},
+	}
 }
 
 // withDefaults resolves every zero option to its documented default.
@@ -223,6 +275,9 @@ func (o LoadOptions) withDefaults() LoadOptions {
 func planUnits(o LoadOptions) []loadUnit {
 	opts := o.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
+	// Trace identities come from a dedicated seeded stream, not rng, so
+	// adding tracing cannot perturb the generated sequences and contexts.
+	ids := obs.NewSeededIDSource(uint64(opts.Seed) ^ 0x6c6f616467656e /* "loadgen" */)
 	units := make([]loadUnit, opts.Units)
 	for i := range units {
 		n := opts.MinBases + rng.Intn(opts.MaxBases-opts.MinBases+1)
@@ -235,10 +290,11 @@ func planUnits(o LoadOptions) []loadUnit {
 		}
 		symbols := p.Generate(opts.Seed + int64(i))
 		u := loadUnit{
-			body:    seq.Decode(symbols),
-			symbols: symbols,
-			ctx:     opts.Contexts[i%len(opts.Contexts)],
-			ranged:  i%opts.RangeEvery == 0,
+			body:        seq.Decode(symbols),
+			symbols:     symbols,
+			ctx:         opts.Contexts[i%len(opts.Contexts)],
+			ranged:      i%opts.RangeEvery == 0,
+			traceparent: obs.FormatTraceparent(ids.TraceID(), ids.SpanID()),
 		}
 		if u.ranged && n > 1 {
 			u.off = rng.Intn(n - 1)
@@ -274,13 +330,13 @@ func runUnit(ctx context.Context, client *http.Client, clock obs.Clock, reg *obs
 	if u.ranged {
 		compressURL += fmt.Sprintf("&block_size=%d", blockSizeFor(u))
 	}
-	frame, status, err := res.call(ctx, client, clock, "compress", http.MethodPost, compressURL, u.body)
+	frame, status, err := res.call(ctx, client, clock, "compress", http.MethodPost, compressURL, u.traceparent, u.body)
 	if err != nil || status != http.StatusOK {
 		return res
 	}
 	res.inputBases += int64(len(u.body))
 
-	restored, status, err := res.call(ctx, client, clock, "decompress", http.MethodPost, base+"/decompress", frame)
+	restored, status, err := res.call(ctx, client, clock, "decompress", http.MethodPost, base+"/decompress", u.traceparent, frame)
 	if err == nil && status == http.StatusOK && string(restored) != string(u.body) {
 		res.mismatches++
 		res.errs = append(res.errs, fmt.Sprintf("round trip mismatch: %d bases in, %d out", len(u.body), len(restored)))
@@ -291,7 +347,7 @@ func runUnit(ctx context.Context, client *http.Client, clock obs.Clock, reg *obs
 
 	if u.ranged {
 		url := fmt.Sprintf("%s/decompress?off=%d&len=%d", base, u.off, u.n)
-		window, status, err := res.call(ctx, client, clock, "range", http.MethodPost, url, frame)
+		window, status, err := res.call(ctx, client, clock, "range", http.MethodPost, url, u.traceparent, frame)
 		if err == nil && status == http.StatusOK {
 			want := string(u.body[u.off : u.off+u.n])
 			if string(window) != want {
@@ -314,8 +370,9 @@ func blockSizeFor(u loadUnit) int {
 }
 
 // call issues one HTTP request, books its outcome and latency, and
-// returns the body for successful calls.
-func (res *unitResult) call(ctx context.Context, client *http.Client, clock obs.Clock, endpoint, method, url string, body []byte) ([]byte, int, error) {
+// returns the body for successful calls. Every call is tagged as loadgen
+// traffic, and carries the unit's trace context when one is set.
+func (res *unitResult) call(ctx context.Context, client *http.Client, clock obs.Clock, endpoint, method, url, traceparent string, body []byte) ([]byte, int, error) {
 	res.calls++
 	res.byEndpoint[endpoint]++
 	req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
@@ -323,6 +380,10 @@ func (res *unitResult) call(ctx context.Context, client *http.Client, clock obs.
 		res.failed++
 		res.errs = append(res.errs, fmt.Sprintf("%s: %v", endpoint, err))
 		return nil, 0, err
+	}
+	req.Header.Set("X-Dnacomp-Origin", "loadgen")
+	if traceparent != "" {
+		req.Header.Set("Traceparent", traceparent)
 	}
 	t0 := clock.Now()
 	resp, err := client.Do(req)

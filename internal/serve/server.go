@@ -29,12 +29,15 @@ package serve
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,6 +109,45 @@ type Config struct {
 	// FleetContainer names the fleet container holding stored containers;
 	// "" means "serve". Only read when FleetStore is set.
 	FleetContainer string
+	// IDs generates W3C trace/span IDs for request-scoped tracing; nil
+	// means a deterministic seeded source (seed 2015), so two servers with
+	// default wiring and identical request orders export identical traces.
+	IDs obs.IDSource
+	// RecorderSize bounds the flight-recorder ring mounted at
+	// /debug/requests; 0 means 256 records, < 0 disables the recorder.
+	RecorderSize int
+	// SLO declares the service-level objectives /debug/slo evaluates; nil
+	// means DefaultObjectives (compress latency + availability) against
+	// the server's registry.
+	SLO []obs.Objective
+	// SLOConfig tunes the SLO engine's burn-rate windows; the zero value
+	// uses the obs defaults (5m fast / 1h slow, alert at 14.4).
+	SLOConfig obs.SLOConfig
+	// TraceSink, when set, receives one JSON line per traced request (the
+	// span tree) — the -trace file sink in dnacompd. Setting it makes
+	// every request traced.
+	TraceSink io.Writer
+}
+
+// DefaultObjectives is the serve plane's stock SLO set against reg: 99% of
+// compress requests under 250 ms (modeled on the injected clock) and
+// 99.9% of all requests free of server-side errors.
+func DefaultObjectives(reg *obs.Registry) []obs.Objective {
+	return []obs.Objective{
+		{
+			Name:   "compress_latency",
+			Target: 0.99,
+			Histogram: reg.Histogram("dna_serve_latency_ms", "End-to-end request latency in milliseconds.",
+				obs.DefMSBuckets(), "endpoint", "compress"),
+			ThresholdMS: 250,
+		},
+		{
+			Name:   "availability",
+			Target: 0.999,
+			Total:  reg.Counter("dna_serve_completed_total", "Requests completed, all endpoints and outcomes."),
+			Bad:    reg.Counter("dna_serve_errors_total", "Requests that failed server-side (5xx excluding backpressure)."),
+		},
+	}
 }
 
 // job is one admitted unit of work: the worker runs it and sends exactly
@@ -129,6 +171,8 @@ type serveMetrics struct {
 	reg        *obs.Registry
 	queueDepth *obs.Gauge
 	inflight   *obs.Gauge
+	completed  *obs.Counter
+	errors     *obs.Counter
 }
 
 func newServeMetrics(reg *obs.Registry) serveMetrics {
@@ -136,6 +180,8 @@ func newServeMetrics(reg *obs.Registry) serveMetrics {
 		reg:        reg,
 		queueDepth: reg.Gauge("dna_serve_queue_depth", "Requests waiting for a worker."),
 		inflight:   reg.Gauge("dna_serve_inflight", "Requests currently executing on a worker."),
+		completed:  reg.Counter("dna_serve_completed_total", "Requests completed, all endpoints and outcomes."),
+		errors:     reg.Counter("dna_serve_errors_total", "Requests that failed server-side (5xx excluding backpressure)."),
 	}
 }
 
@@ -175,6 +221,14 @@ type Server struct {
 	// codecPending counts admitted-but-unfinished requests per codec for
 	// the PerCodecBacklog admission bound.
 	codecPending map[string]*atomic.Int64
+
+	// Request-scoped observability plane: deterministic trace IDs, the
+	// flight-recorder ring behind /debug/requests, the SLO engine behind
+	// /debug/slo, and the optional JSONL trace sink.
+	ids      obs.IDSource
+	recorder *obs.FlightRecorder
+	slo      *obs.SLOEngine
+	sinkMu   sync.Mutex // serializes TraceSink writes
 
 	// store holds named containers. In fleet mode the bytes live on the
 	// fleet and the map entry (nil value) only reserves the name under the
@@ -231,6 +285,18 @@ func NewServer(cfg Config) (*Server, error) {
 	if s.clock == nil {
 		s.clock = obs.System()
 	}
+	s.ids = cfg.IDs
+	if s.ids == nil {
+		s.ids = obs.NewSeededIDSource(2015)
+	}
+	if cfg.RecorderSize >= 0 {
+		s.recorder = obs.NewFlightRecorder(cfg.RecorderSize)
+	}
+	objectives := cfg.SLO
+	if objectives == nil {
+		objectives = DefaultObjectives(reg)
+	}
+	s.slo = obs.NewSLOEngine(s.clock, reg, cfg.SLOConfig, objectives...)
 	// The per-codec semaphore and backlog maps are fixed at construction
 	// (the codec registry is sealed after init), so workers index them
 	// without a lock.
@@ -300,8 +366,16 @@ func (s *Server) Handler() http.Handler {
 	debug := obs.DebugHandler(s.reg)
 	mux.Handle("/metrics", debug)
 	mux.Handle("/debug/", debug)
+	// Longer patterns win over /debug/ (net/http precedence), so these
+	// shadow the generic debug handler for their exact paths.
+	mux.Handle("/debug/requests", s.recorder.Handler())
+	mux.Handle("/debug/slo", s.slo.Handler())
 	return mux
 }
+
+// Recorder exposes the flight recorder (nil when disabled) for harnesses
+// that assert on request attribution without scraping /debug/requests.
+func (s *Server) Recorder() *obs.FlightRecorder { return s.recorder }
 
 // --- admission ---------------------------------------------------------
 
@@ -314,10 +388,53 @@ func (s *Server) backpressure(status int, msg string) *response {
 	return r
 }
 
+// reqObs is one request's observability state: the per-request tracer
+// (nil when the request is untraced), the context carrying its root span,
+// and the flight-recorder fields the handler fills in as attribution
+// becomes known. It never influences response bytes — an untraced request
+// and a traced one produce identical non-envelope output.
+type reqObs struct {
+	endpoint    string
+	origin      string // "organic", or "loadgen" via X-Dnacomp-Origin
+	exportTrace bool   // ?trace=1: wrap the response in a JSON trace envelope
+	tracer      *obs.Tracer
+	ctx         context.Context
+	root        *obs.Span
+	rec         obs.RequestRecord
+}
+
+// beginRequest decides whether the request is traced (inbound traceparent,
+// ?trace=1, or a configured TraceSink) and, if so, opens the per-request
+// tracer and the "serve.<endpoint>" root span — joining the caller's trace
+// when a valid traceparent came in.
+func (s *Server) beginRequest(r *http.Request, endpoint string) *reqObs {
+	rx := &reqObs{endpoint: endpoint, origin: "organic", ctx: r.Context()}
+	if r.Header.Get("X-Dnacomp-Origin") == "loadgen" {
+		rx.origin = "loadgen"
+	}
+	rx.exportTrace = r.URL.Query().Get("trace") == "1"
+	remote, hasRemote := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if hasRemote || rx.exportTrace || s.cfg.TraceSink != nil {
+		rx.tracer = obs.NewTracerWithIDs(s.clock, s.ids)
+		ctx := obs.WithTracer(rx.ctx, rx.tracer)
+		if hasRemote {
+			ctx = obs.WithRemoteParent(ctx, remote)
+		}
+		ctx, rx.root = obs.Start(ctx, "serve."+endpoint)
+		rx.root.SetAttr("endpoint", endpoint)
+		rx.root.SetAttr("origin", rx.origin)
+		rx.ctx = ctx
+	}
+	return rx
+}
+
 // submit runs fn through the admission plane: draining refusal, per-codec
 // backlog bound, bounded queue with 429 backpressure, worker execution.
-// It returns the response to write.
-func (s *Server) submit(endpoint, codec string, fn func() *response) *response {
+// It returns the response to write. Queue wait (admission to execution,
+// including the per-codec semaphore) and work time are measured on the
+// injected clock into rx for the flight recorder, and a "serve.queue"
+// child span covers the wait when the request is traced.
+func (s *Server) submit(rx *reqObs, codec string, fn func(ctx context.Context) *response) *response {
 	if s.draining.Load() {
 		s.met.rejected("draining")
 		return s.backpressure(http.StatusServiceUnavailable, "server is draining")
@@ -334,32 +451,171 @@ func (s *Server) submit(endpoint, codec string, fn func() *response) *response {
 		}
 		defer pending.Add(-1)
 	}
-	j := job{codec: codec, run: fn, done: make(chan *response, 1)}
+	enqueued := s.clock.Now()
+	_, qspan := obs.Start(rx.ctx, "serve.queue")
+	run := func() *response {
+		qspan.End()
+		rx.rec.QueueWaitMS = float64(s.clock.Since(enqueued).Nanoseconds()) / 1e6
+		w0 := s.clock.Now()
+		resp := fn(rx.ctx)
+		rx.rec.WorkMS = float64(s.clock.Since(w0).Nanoseconds()) / 1e6
+		return resp
+	}
+	j := job{codec: codec, run: run, done: make(chan *response, 1)}
 	select {
 	case s.queue <- j:
 		s.met.queueDepth.Add(1)
 	default:
+		qspan.End()
 		s.met.rejected("queue_full")
 		return s.backpressure(http.StatusTooManyRequests, "request queue is full")
 	}
 	return <-j.done
 }
 
-// finish renders resp and books the endpoint metrics; t0 anchors the
-// latency histogram on the injected clock.
-func (s *Server) finish(w http.ResponseWriter, endpoint string, t0 time.Time, resp *response) {
+// outcomeOf folds a status code into the recorder's outcome taxonomy:
+// "ok", "rejected" (retryable backpressure), "client_error", or "error"
+// (server-side failure — the only outcome that counts against the
+// availability SLO and fires the recorder's dump-on-error hook).
+func outcomeOf(status int) string {
+	switch {
+	case status < 400:
+		return "ok"
+	case status == http.StatusTooManyRequests,
+		status == http.StatusServiceUnavailable,
+		status == http.StatusInsufficientStorage:
+		return "rejected"
+	case status < 500:
+		return "client_error"
+	default:
+		return "error"
+	}
+}
+
+// traceEnvelope is the ?trace=1 response shape: the original status,
+// headers and (base64) body, plus the request's span tree.
+type traceEnvelope struct {
+	Status  int               `json:"status"`
+	Headers map[string]string `json:"headers,omitempty"`
+	TraceID string            `json:"trace_id,omitempty"`
+	Trace   []*obs.SpanTree   `json:"trace"`
+	Body    []byte            `json:"body_b64,omitempty"`
+}
+
+// finish completes the request: ends the root span, renders resp (or the
+// ?trace=1 JSON envelope), books the endpoint metrics and SLO counters,
+// writes the flight-recorder record, and emits the trace to the sink.
+// t0 anchors the latency histogram on the injected clock.
+func (s *Server) finish(w http.ResponseWriter, rx *reqObs, t0 time.Time, resp *response) {
+	totalMS := float64(s.clock.Since(t0).Nanoseconds()) / 1e6
+	outcome := outcomeOf(resp.status)
+	if rx.root != nil {
+		rx.root.SetAttr("status", resp.status)
+		rx.root.SetAttr("outcome", outcome)
+		rx.root.End()
+	}
+
+	body := resp.body
+	contentType := resp.contentType
+	if rx.exportTrace && rx.tracer != nil {
+		env := traceEnvelope{
+			Status:  resp.status,
+			Headers: resp.header,
+			TraceID: rx.root.TraceID(),
+			Trace:   rx.tracer.Tree(),
+			Body:    resp.body,
+		}
+		if enc, err := json.MarshalIndent(env, "", "  "); err == nil {
+			body = append(enc, '\n')
+			contentType = "application/json; charset=utf-8"
+		}
+	}
 	for k, v := range resp.header {
 		w.Header().Set(k, v)
 	}
-	if resp.contentType != "" {
-		w.Header().Set("Content-Type", resp.contentType)
+	if rx.root != nil {
+		w.Header().Set("X-Dnacomp-Trace-Id", rx.root.TraceID())
+	}
+	if contentType != "" {
+		w.Header().Set("Content-Type", contentType)
 	}
 	w.WriteHeader(resp.status)
-	if len(resp.body) > 0 {
-		w.Write(resp.body)
+	if len(body) > 0 {
+		w.Write(body)
 	}
-	s.met.request(endpoint, resp.status)
-	s.met.latency(endpoint, float64(s.clock.Since(t0).Nanoseconds())/1e6)
+
+	s.met.request(rx.endpoint, resp.status)
+	s.met.latency(rx.endpoint, totalMS)
+	s.met.completed.Inc()
+	if outcome == "error" {
+		s.met.errors.Inc()
+	}
+
+	if s.recorder != nil {
+		rec := rx.rec
+		rec.TraceID = rx.root.TraceID()
+		rec.Endpoint = rx.endpoint
+		rec.Origin = rx.origin
+		rec.Status = resp.status
+		rec.Outcome = outcome
+		rec.TotalMS = totalMS
+		rec.OutBytes = len(resp.body)
+		if outcome == "error" || outcome == "client_error" {
+			rec.Error = strings.TrimSpace(string(resp.body))
+		}
+		s.attributeFleet(&rec)
+		s.recorder.Record(rec)
+	}
+	s.slo.Evaluate()
+	s.writeTraceSink(rx)
+}
+
+// fleetIntrospect is the optional attribution surface of a fleet-backed
+// store (satisfied by *cloud.Fleet): which replicas hold a blob and where
+// every breaker stands right now.
+type fleetIntrospect interface {
+	Replicas(container, blob string) []string
+	BreakerStates() map[string]cloud.BreakerState
+}
+
+// attributeFleet stamps the record with the blob's replica set and the
+// fleet's breaker states at completion, when a fleet-backed store was
+// touched under a name.
+func (s *Server) attributeFleet(rec *obs.RequestRecord) {
+	if rec.StoreName == "" || s.cfg.FleetStore == nil {
+		return
+	}
+	fi, ok := s.cfg.FleetStore.(fleetIntrospect)
+	if !ok {
+		return
+	}
+	rec.Shards = fi.Replicas(s.cfg.FleetContainer, rec.StoreName)
+	states := fi.BreakerStates()
+	rec.Breakers = make(map[string]string, len(states))
+	for name, st := range states {
+		rec.Breakers[name] = st.String()
+	}
+}
+
+// writeTraceSink appends the finished trace as one JSON line to the
+// configured sink.
+func (s *Server) writeTraceSink(rx *reqObs) {
+	if s.cfg.TraceSink == nil || rx.tracer == nil {
+		return
+	}
+	line := struct {
+		TraceID  string          `json:"trace_id"`
+		Endpoint string          `json:"endpoint"`
+		Origin   string          `json:"origin"`
+		Trace    []*obs.SpanTree `json:"trace"`
+	}{TraceID: rx.root.TraceID(), Endpoint: rx.endpoint, Origin: rx.origin, Trace: rx.tracer.Tree()}
+	enc, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	s.sinkMu.Lock()
+	defer s.sinkMu.Unlock()
+	s.cfg.TraceSink.Write(append(enc, '\n'))
 }
 
 func errorResponse(status int, msg string) *response {
@@ -453,25 +709,27 @@ func queryFloat(v, name string) (float64, bool, error) {
 
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	t0 := s.clock.Now()
+	rx := s.beginRequest(r, "compress")
 	if r.Method != http.MethodPost {
-		s.finish(w, "compress", t0, errorResponse(http.StatusMethodNotAllowed, "POST a sequence to /compress"))
+		s.finish(w, rx, t0, errorResponse(http.StatusMethodNotAllowed, "POST a sequence to /compress"))
 		return
 	}
 	p, err := s.parseCompressParams(r)
 	if err != nil {
-		s.finish(w, "compress", t0, errorResponse(http.StatusBadRequest, err.Error()))
+		s.finish(w, rx, t0, errorResponse(http.StatusBadRequest, err.Error()))
 		return
 	}
 	body, errResp := s.readBody(w, r)
 	if errResp != nil {
-		s.finish(w, "compress", t0, errResp)
+		s.finish(w, rx, t0, errResp)
 		return
 	}
+	rx.rec.InBytes = len(body)
 	// Codec resolution happens before admission so the per-codec semaphore
 	// key is known; it is a pure function of (params, body, model).
 	symbols, _ := Cleanse(body)
 	if len(symbols) == 0 {
-		s.finish(w, "compress", t0, errorResponse(http.StatusBadRequest, "input contains no ACGT bases"))
+		s.finish(w, rx, t0, errorResponse(http.StatusBadRequest, "input contains no ACGT bases"))
 		return
 	}
 	codec, source := p.codec, "request"
@@ -483,21 +741,30 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		}
 		codec, source = s.engine.SelectCodec(ctx), "tree"
 	}
-	resp := s.submit("compress", codec, func() *response {
-		return s.doCompress(codec, source, p, symbols)
+	rx.rec.Codec, rx.rec.CodecSource = codec, source
+	rx.rec.Bases = len(symbols)
+	rx.rec.StoreName = p.name
+	resp := s.submit(rx, codec, func(ctx context.Context) *response {
+		return s.doCompress(ctx, rx, codec, source, p, symbols)
 	})
-	s.finish(w, "compress", t0, resp)
+	s.finish(w, rx, t0, resp)
 }
 
 // doCompress is the pure work function of /compress: symbols and resolved
-// parameters in, deterministic container bytes out.
-func (s *Server) doCompress(codec, source string, p compressParams, symbols []byte) *response {
+// parameters in, deterministic container bytes out. Under a traced
+// request it wraps the codec work in a "codec.<name>" span and the store
+// write (and its fleet replica fan-out) in a "serve.store" span.
+func (s *Server) doCompress(ctx context.Context, rx *reqObs, codec, source string, p compressParams, symbols []byte) *response {
 	var (
 		container []byte
 		st        compress.Stats
 		err       error
 		blocks    int
 	)
+	_, cspan := obs.Start(ctx, "codec."+codec)
+	cspan.SetAttr("codec", codec)
+	cspan.SetAttr("source", source)
+	cspan.SetAttr("bases", len(symbols))
 	if p.blockSize > 0 {
 		container, st, err = compress.BlockCompressObserved(s.reg, codec, symbols, compress.BlockOptions{BlockSize: p.blockSize})
 		blocks = (len(symbols) + p.blockSize - 1) / p.blockSize
@@ -512,11 +779,14 @@ func (s *Server) doCompress(codec, source string, p compressParams, symbols []by
 			}
 		}
 	}
+	cspan.SetAttr("modeled_ms", float64(st.WorkNS)/1e6)
+	cspan.End()
+	rx.rec.ModeledMS = float64(st.WorkNS) / 1e6
 	if err != nil {
 		return errorResponse(http.StatusUnprocessableEntity, fmt.Sprintf("compress with %s: %v", codec, err))
 	}
 	if p.name != "" {
-		if errResp := s.storePut(p.name, container); errResp != nil {
+		if errResp := s.storePut(ctx, p.name, container); errResp != nil {
 			return errResp
 		}
 	}
@@ -534,7 +804,6 @@ func (s *Server) doCompress(codec, source string, p compressParams, symbols []by
 	if p.blockSize > 0 {
 		resp.header["X-Dnacomp-Blocks"] = strconv.Itoa(blocks)
 	}
-	_ = st
 	return resp
 }
 
@@ -574,9 +843,10 @@ func parseRange(q map[string][]string) (rangeParams, error) {
 
 func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	t0 := s.clock.Now()
+	rx := s.beginRequest(r, "decompress")
 	rng, err := parseRange(r.URL.Query())
 	if err != nil {
-		s.finish(w, "decompress", t0, errorResponse(http.StatusBadRequest, err.Error()))
+		s.finish(w, rx, t0, errorResponse(http.StatusBadRequest, err.Error()))
 		return
 	}
 	var container []byte
@@ -584,34 +854,37 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		body, errResp := s.readBody(w, r)
 		if errResp != nil {
-			s.finish(w, "decompress", t0, errResp)
+			s.finish(w, rx, t0, errResp)
 			return
 		}
 		container = body
 	case http.MethodGet:
 		name := r.URL.Query().Get("name")
 		if name == "" {
-			s.finish(w, "decompress", t0, errorResponse(http.StatusBadRequest,
+			s.finish(w, rx, t0, errorResponse(http.StatusBadRequest,
 				"GET /decompress needs ?name= of a stored container (POST the container body otherwise)"))
 			return
 		}
+		rx.rec.StoreName = name
 		var errResp *response
-		if container, errResp = s.storeGet(name); errResp != nil {
-			s.finish(w, "decompress", t0, errResp)
+		if container, errResp = s.storeGet(rx.ctx, name); errResp != nil {
+			s.finish(w, rx, t0, errResp)
 			return
 		}
 	default:
-		s.finish(w, "decompress", t0, errorResponse(http.StatusMethodNotAllowed, "POST a container or GET ?name="))
+		s.finish(w, rx, t0, errorResponse(http.StatusMethodNotAllowed, "POST a container or GET ?name="))
 		return
 	}
+	rx.rec.InBytes = len(container)
 	// The codec the container claims keys the per-codec semaphore; a
 	// corrupt header falls through to "" (no semaphore) and the worker
 	// reports the parse failure deterministically.
 	codec := containerCodec(container)
-	resp := s.submit("decompress", codec, func() *response {
-		return s.doDecompress(container, rng)
+	rx.rec.Codec, rx.rec.CodecSource = codec, "container"
+	resp := s.submit(rx, codec, func(ctx context.Context) *response {
+		return s.doDecompress(ctx, rx, codec, container, rng)
 	})
-	s.finish(w, "decompress", t0, resp)
+	s.finish(w, rx, t0, resp)
 }
 
 // containerCodec peeks the codec name either container format records,
@@ -633,7 +906,14 @@ func containerCodec(data []byte) string {
 // and a validated range in, restored ASCII bases out. Untrusted bytes
 // reach codecs only through SafeDecompressAny / OpenBlocksObserved, so
 // every hostile-input property of the hardened decode layer holds here.
-func (s *Server) doDecompress(container []byte, rng rangeParams) *response {
+func (s *Server) doDecompress(ctx context.Context, rx *reqObs, claimed string, container []byte, rng rangeParams) *response {
+	spanName := "codec.decode"
+	if claimed != "" {
+		spanName = "codec." + claimed
+	}
+	_, cspan := obs.Start(ctx, spanName)
+	defer cspan.End()
+	cspan.SetAttr("container_bytes", len(container))
 	var (
 		symbols []byte
 		bases   int
@@ -680,6 +960,8 @@ func (s *Server) doDecompress(container []byte, rng rangeParams) *response {
 	if err != nil {
 		return errorResponse(http.StatusUnprocessableEntity, fmt.Sprintf("decompress: %v", err))
 	}
+	cspan.SetAttr("bases", bases)
+	rx.rec.Bases = bases
 	header := map[string]string{
 		"X-Dnacomp-Bases": strconv.Itoa(bases),
 	}
@@ -721,7 +1003,11 @@ func resolveRange(rng rangeParams, bases int) (off, n int, err error) {
 // to the replicated store and a lost write quorum degrades to 503 +
 // Retry-After; the local name reservation is rolled back so the failed
 // name does not burn a store slot.
-func (s *Server) storePut(name string, container []byte) *response {
+func (s *Server) storePut(ctx context.Context, name string, container []byte) *response {
+	ctx, span := obs.Start(ctx, "serve.store")
+	defer span.End()
+	span.SetAttr("name", name)
+	span.SetAttr("bytes", len(container))
 	s.storeMu.Lock()
 	_, existed := s.store[name]
 	if !existed && len(s.store) >= s.cfg.MaxStored {
@@ -736,7 +1022,7 @@ func (s *Server) storePut(name string, container []byte) *response {
 	}
 	s.store[name] = nil // reserve the name under the cap while the fleet write runs
 	s.storeMu.Unlock()
-	if err := s.cfg.FleetStore.Put(s.cfg.FleetContainer, name, container); err != nil {
+	if err := storePutCtx(ctx, s.cfg.FleetStore, s.cfg.FleetContainer, name, container); err != nil {
 		if !existed {
 			s.storeMu.Lock()
 			delete(s.store, name)
@@ -747,10 +1033,34 @@ func (s *Server) storePut(name string, container []byte) *response {
 	return nil
 }
 
+// ctxStore is the optional context-aware face of a cloud store (satisfied
+// by *cloud.Fleet): the same ops, with request-scoped trace propagation.
+type ctxStore interface {
+	PutCtx(ctx context.Context, container, blob string, data []byte) error
+	GetCtx(ctx context.Context, container, blob string) ([]byte, error)
+}
+
+func storePutCtx(ctx context.Context, st cloud.Store, container, blob string, data []byte) error {
+	if cs, ok := st.(ctxStore); ok {
+		return cs.PutCtx(ctx, container, blob, data)
+	}
+	return st.Put(container, blob, data)
+}
+
+func storeGetCtx(ctx context.Context, st cloud.Store, container, blob string) ([]byte, error) {
+	if cs, ok := st.(ctxStore); ok {
+		return cs.GetCtx(ctx, container, blob)
+	}
+	return st.Get(container, blob)
+}
+
 // storeGet fetches a named container, returning a non-nil error response
 // on failure: 404 for an unknown name, 503 + Retry-After when the fleet
 // cannot reach any replica of a name that exists.
-func (s *Server) storeGet(name string) ([]byte, *response) {
+func (s *Server) storeGet(ctx context.Context, name string) ([]byte, *response) {
+	ctx, span := obs.Start(ctx, "serve.fetch")
+	defer span.End()
+	span.SetAttr("name", name)
 	if s.cfg.FleetStore == nil {
 		s.storeMu.RLock()
 		c, ok := s.store[name]
@@ -760,7 +1070,7 @@ func (s *Server) storeGet(name string) ([]byte, *response) {
 		}
 		return c, nil
 	}
-	c, err := s.cfg.FleetStore.Get(s.cfg.FleetContainer, name)
+	c, err := storeGetCtx(ctx, s.cfg.FleetStore, s.cfg.FleetContainer, name)
 	if err != nil {
 		return nil, s.fleetError("fetch", err)
 	}

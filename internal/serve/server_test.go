@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -302,6 +303,13 @@ func registerGateCodec() {
 
 func okResponse() *response { return &response{status: http.StatusOK} }
 
+// submitPlain adapts the admission-plane tests to submit's request-scoped
+// signature: an untraced synthetic request around a plain work function.
+func (s *Server) submitPlain(endpoint, codec string, fn func() *response) *response {
+	rx := &reqObs{endpoint: endpoint, origin: "organic", ctx: context.Background()}
+	return s.submit(rx, codec, func(context.Context) *response { return fn() })
+}
+
 // TestQueueFullAnswers429: with one worker pinned and the one-slot queue
 // occupied, the next submission must be refused with 429 + Retry-After —
 // backpressure, not a silent drop.
@@ -323,7 +331,7 @@ func TestQueueFullAnswers429(t *testing.T) {
 	wg.Add(2)
 	go func() { // occupies the single worker
 		defer wg.Done()
-		s.submit("compress", "gatetest", func() *response {
+		s.submitPlain("compress", "gatetest", func() *response {
 			close(started)
 			<-gate
 			return okResponse()
@@ -332,7 +340,7 @@ func TestQueueFullAnswers429(t *testing.T) {
 	<-started
 	go func() { // occupies the single queue slot
 		defer wg.Done()
-		s.submit("compress", "gatetest", release)
+		s.submitPlain("compress", "gatetest", release)
 	}()
 	deadline := time.Now().Add(5 * time.Second)
 	for len(s.queue) == 0 {
@@ -342,7 +350,7 @@ func TestQueueFullAnswers429(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	resp := s.submit("compress", "gatetest", release)
+	resp := s.submitPlain("compress", "gatetest", release)
 	if resp.status != http.StatusTooManyRequests {
 		t.Fatalf("third submission got %d, want 429", resp.status)
 	}
@@ -375,7 +383,7 @@ func TestPerCodecLimit(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		s.submit("compress", "gatetest", func() *response {
+		s.submitPlain("compress", "gatetest", func() *response {
 			close(first)
 			<-gate
 			return okResponse()
@@ -384,7 +392,7 @@ func TestPerCodecLimit(t *testing.T) {
 	<-first
 	go func() {
 		defer wg.Done()
-		s.submit("compress", "gatetest", func() *response {
+		s.submitPlain("compress", "gatetest", func() *response {
 			close(second)
 			<-gate
 			return okResponse()
@@ -393,7 +401,7 @@ func TestPerCodecLimit(t *testing.T) {
 
 	// A different codec must not be starved by gatetest's semaphore.
 	done := make(chan *response, 1)
-	go func() { done <- s.submit("compress", "twobit", okResponse) }()
+	go func() { done <- s.submitPlain("compress", "twobit", okResponse) }()
 	select {
 	case r := <-done:
 		if r.status != http.StatusOK {
